@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation A2 (paper section 6.3): the two cache schemes for nesting
+ * support — multi-tracking R/W bits per level (fig 4a) vs associativity
+ * (NL field + version replication, fig 4b) — and eager vs lazy merging
+ * cost at closed-nested commits.
+ */
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "workloads/kernel_mp3d.hh"
+#include "workloads/kernel_specjbb.hh"
+
+using namespace tmsim;
+
+namespace {
+
+void
+row(const char* name, const KernelFactory& make)
+{
+    struct Cfg
+    {
+        const char* tag;
+        NestScheme scheme;
+        bool lazyMerge;
+    } cfgs[] = {
+        {"assoc+lazy", NestScheme::Associativity, true},
+        {"assoc+eager", NestScheme::Associativity, false},
+        {"multitrack+lazy", NestScheme::MultiTracking, true},
+        {"multitrack+eager", NestScheme::MultiTracking, false},
+    };
+
+    std::printf("%-14s", name);
+    RunResult base;
+    bool first = true;
+    for (const Cfg& c : cfgs) {
+        HtmConfig htm = HtmConfig::paperLazy();
+        htm.scheme = c.scheme;
+        htm.lazyMerge = c.lazyMerge;
+        auto k = make();
+        RunResult r = runKernel(*k, htm, 8);
+        if (first) {
+            base = r;
+            first = false;
+        }
+        std::printf(" %9llu (%4.2fx%s)",
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<double>(base.cycles) /
+                        static_cast<double>(r.cycles),
+                    r.verified ? "" : " BAD");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("# Ablation: nesting cache scheme x merge policy, "
+                "8 CPUs, cycles (relative speed vs assoc+lazy, higher = faster)\n");
+    std::printf("%-14s %18s %18s %18s %18s\n", "benchmark", "assoc+lazy",
+                "assoc+eager", "mtrack+lazy", "mtrack+eager");
+    row("mp3d", [] { return std::make_unique<Mp3dKernel>(); });
+    row("specjbb-closed", [] {
+        return std::make_unique<SpecJbbKernel>(JbbVariant::ClosedNested);
+    });
+    return 0;
+}

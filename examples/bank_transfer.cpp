@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Bank-transfer example: closed-nested transactions, voluntary aborts
+ * with abort handlers, and the conservation invariant under heavy
+ * contention.
+ *
+ * Each teller moves money between random accounts inside a
+ * transaction. Audits run concurrently as read-only transactions and
+ * must always observe a consistent total. Transfers from overdrawn
+ * accounts abort voluntarily; an abort handler counts the rejections.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/machine.hh"
+#include "runtime/tx_thread.hh"
+#include "sim/rng.hh"
+
+using namespace tmsim;
+
+namespace {
+
+constexpr int numAccounts = 32;
+constexpr int numTellers = 6;
+constexpr int transfersPerTeller = 40;
+constexpr Word initialBalance = 1000;
+
+} // namespace
+
+int
+main()
+{
+    MachineConfig cfg;
+    cfg.numCpus = numTellers + 1; // tellers + one auditor
+    cfg.htm = HtmConfig::paperLazy();
+    Machine m(cfg);
+
+    Addr accounts = m.memory().allocate(numAccounts * 64, 64);
+    auto accountAddr = [&](int i) {
+        return accounts + static_cast<Addr>(i) * 64;
+    };
+    for (int i = 0; i < numAccounts; ++i)
+        m.memory().write(accountAddr(i), initialBalance);
+
+    std::vector<std::unique_ptr<TxThread>> threads;
+    for (int i = 0; i < m.numCpus(); ++i)
+        threads.push_back(std::make_unique<TxThread>(m.cpu(i)));
+
+    int rejected = 0;
+    int audits = 0;
+    bool auditFailed = false;
+    int tellersDone = 0;
+
+    // Tellers.
+    for (int i = 0; i < numTellers; ++i) {
+        m.spawn(i, [&, i](Cpu&) -> SimTask {
+            TxThread& t = *threads[static_cast<size_t>(i)];
+            Rng rng(static_cast<std::uint64_t>(i) + 42);
+            for (int k = 0; k < transfersPerTeller; ++k) {
+                int from = static_cast<int>(rng.below(numAccounts));
+                int to = static_cast<int>(rng.below(numAccounts));
+                Word amount = rng.range(1, 5000); // sometimes too much
+                TxOutcome out = co_await t.atomic(
+                    [&](TxThread& tx) -> SimTask {
+                        co_await tx.onAbort(
+                            [&](TxThread&,
+                                const std::vector<Word>&) -> SimTask {
+                                ++rejected;
+                                co_return;
+                            });
+                        Word b = co_await tx.ld(accountAddr(from));
+                        if (b < amount) {
+                            // Insufficient funds: voluntary abort runs
+                            // the abort handler and undoes everything.
+                            co_await tx.cpu().xabort(1);
+                        }
+                        co_await tx.st(accountAddr(from), b - amount);
+                        Word c = co_await tx.ld(accountAddr(to));
+                        co_await tx.st(accountAddr(to), c + amount);
+                    });
+                (void)out;
+            }
+            ++tellersDone;
+        });
+    }
+
+    // Auditor: read-only transactions observe a consistent snapshot.
+    m.spawn(numTellers, [&](Cpu& c) -> SimTask {
+        TxThread& t = *threads[numTellers];
+        while (tellersDone < numTellers) {
+            Word total = 0;
+            co_await t.atomic([&](TxThread& tx) -> SimTask {
+                total = 0; // reset on retry
+                for (int i = 0; i < numAccounts; ++i)
+                    total += co_await tx.ld(accountAddr(i));
+            });
+            ++audits;
+            if (total != numAccounts * initialBalance)
+                auditFailed = true;
+            co_await c.exec(500);
+        }
+    });
+
+    m.run();
+
+    Word total = 0;
+    for (int i = 0; i < numAccounts; ++i)
+        total += m.memory().read(accountAddr(i));
+
+    std::printf("final total    = %llu (expected %llu)\n",
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(numAccounts *
+                                                initialBalance));
+    std::printf("transfers      = %d, rejected (aborted) = %d\n",
+                numTellers * transfersPerTeller, rejected);
+    std::printf("audits         = %d, consistent = %s\n", audits,
+                auditFailed ? "NO" : "yes");
+    std::printf("rollbacks      = %llu\n",
+                static_cast<unsigned long long>(
+                    m.stats().sum("cpu*.htm.rollbacks")));
+    return (total == numAccounts * initialBalance && !auditFailed) ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Transactional I/O example: buffered output through commit handlers
+ * and compensated input through violation handlers (paper section 5).
+ *
+ * Worker threads process records from a shared input "file" inside
+ * transactions and log results to a shared output device. A rolled-
+ * back transaction automatically rewinds its input reads and discards
+ * its buffered output — no torn or duplicated I/O is ever visible.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/machine.hh"
+#include "runtime/tx_io.hh"
+#include "runtime/tx_thread.hh"
+
+using namespace tmsim;
+
+int
+main()
+{
+    constexpr int workers = 4;
+    constexpr int records = 32;
+
+    MachineConfig cfg;
+    cfg.numCpus = workers;
+    cfg.htm = HtmConfig::paperLazy();
+    Machine m(cfg);
+
+    // Input: a shared sequential file of work items.
+    std::vector<Word> input;
+    for (int i = 0; i < records; ++i)
+        input.push_back(static_cast<Word>(i + 1) * 10);
+    TxInFile inFile = TxInFile::create(m.memory(), input);
+
+    // Output: a shared append-only log device.
+    TxLogDevice log = TxLogDevice::create(m.memory(), 4096);
+    TxIo io(log);
+
+    std::vector<std::unique_ptr<TxThread>> threads;
+    for (int i = 0; i < workers; ++i)
+        threads.push_back(std::make_unique<TxThread>(m.cpu(i)));
+
+    for (int i = 0; i < workers; ++i) {
+        m.spawn(i, [&, i](Cpu&) -> SimTask {
+            TxThread& t = *threads[static_cast<size_t>(i)];
+            for (int k = 0; k < records / workers; ++k) {
+                co_await t.atomic([&](TxThread& tx) -> SimTask {
+                    // "read() syscall": executes immediately inside an
+                    // open-nested transaction; a violation handler
+                    // rewinds the file position if we roll back.
+                    Word item = co_await inFile.txRead(tx);
+
+                    co_await tx.work(300); // process the item
+
+                    // "write() syscall": staged privately now, the
+                    // actual append runs as a commit handler after the
+                    // transaction validates.
+                    std::vector<Word> rec;
+                    rec.push_back(static_cast<Word>(i + 1)); // worker
+                    rec.push_back(item);
+                    rec.push_back(item * item); // result
+                    co_await io.txWrite(tx, std::move(rec));
+                });
+            }
+        });
+    }
+
+    m.run();
+
+    auto out = log.contents(m.memory());
+    // Every input record must appear squared exactly once.
+    std::vector<bool> seen(records + 1, false);
+    bool ok = out.size() == static_cast<size_t>(records) * 3;
+    for (size_t off = 0; ok && off < out.size(); off += 3) {
+        Word worker = out[off];
+        Word item = out[off + 1];
+        Word sq = out[off + 2];
+        int idx = static_cast<int>(item / 10);
+        if (worker < 1 || worker > workers || idx < 1 || idx > records ||
+            seen[static_cast<size_t>(idx)] || sq != item * item) {
+            ok = false;
+        } else {
+            seen[static_cast<size_t>(idx)] = true;
+        }
+    }
+
+    std::printf("input consumed  = %llu records (expected %d)\n",
+                static_cast<unsigned long long>(
+                    inFile.position(m.memory())),
+                records);
+    std::printf("log records     = %zu (each atomic, none torn)\n",
+                out.size() / 3);
+    std::printf("compensations   = %llu input rewinds\n",
+                static_cast<unsigned long long>(inFile.compensations()));
+    std::printf("result          = %s\n", ok ? "consistent" : "BROKEN");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,471 @@
+#include "core/cpu.hh"
+
+#include "sim/logging.hh"
+
+namespace tmsim {
+
+Cpu::Cpu(CpuId id_, const HtmConfig& htm_cfg, const CacheGeometry& l1_geom,
+         const CacheGeometry& l2_geom, MemSystem& mem_sys,
+         StatsRegistry& stats)
+    : cpuId(id_),
+      eq(mem_sys.eventQueue()),
+      memSys(mem_sys),
+      l1(strfmt("cpu%d.l1", id_), l1_geom, htm_cfg.scheme,
+         htm_cfg.maxHwLevels, stats),
+      l2(strfmt("cpu%d.l2", id_), l2_geom, htm_cfg.scheme,
+         htm_cfg.maxHwLevels, stats),
+      ctx(id_, htm_cfg, mem_sys.memory(), &l1, &l2, stats),
+      det(mem_sys.detector()),
+      statLoads(stats.counter(strfmt("cpu%d.loads", id_))),
+      statStores(stats.counter(strfmt("cpu%d.stores", id_))),
+      statViolationsTaken(
+          stats.counter(strfmt("cpu%d.violations_taken", id_))),
+      statRollbacksToOutermost(
+          stats.counter(strfmt("cpu%d.rollbacks_outer", id_))),
+      statRollbacksToInner(
+          stats.counter(strfmt("cpu%d.rollbacks_inner", id_)))
+{
+    if (l1_geom.lineBytes != l2_geom.lineBytes)
+        fatal("L1 and L2 must use the same line size");
+    memSys.registerCpu(cpuId, &l1, &l2, &ctx);
+}
+
+void
+Cpu::checkAlign(Addr addr)
+{
+    if (addr % wordBytes != 0)
+        panic("unaligned access at 0x%llx",
+              static_cast<unsigned long long>(addr));
+}
+
+int
+Cpu::lowestLevel(std::uint32_t mask)
+{
+    if (mask == 0)
+        panic("lowestLevel of empty mask");
+    return __builtin_ctz(mask) + 1;
+}
+
+void
+Cpu::setViolationProtocol(ViolationProtocol p)
+{
+    violationProtocol = std::move(p);
+}
+
+void
+Cpu::setAbortProtocol(AbortProtocol p)
+{
+    abortProtocol = std::move(p);
+}
+
+SimTask
+Cpu::poll()
+{
+    if (ctx.deliverable())
+        co_await deliverViolations();
+}
+
+SimTask
+Cpu::deliverViolations()
+{
+    while (ctx.deliverable()) {
+        ctx.clampMasksToDepth();
+        if (!ctx.inTx() || ctx.xvcurrent() == 0)
+            break;
+        // Hardware saves xvpc/xvaddr, disables reporting and jumps to
+        // xvhcode; the installed protocol is that code.
+        ctx.setReporting(false);
+        ++violationsDelivered;
+        ++statViolationsTaken;
+        if (violationProtocol)
+            co_await violationProtocol(*this);
+        else
+            co_await defaultViolationProtocol();
+        // The protocol chose to continue the transaction: xvret.
+        if (!ctx.returnFromHandler())
+            break;
+    }
+}
+
+SimTask
+Cpu::defaultViolationProtocol()
+{
+    co_await rollbackAndThrow(lowestLevel(ctx.xvcurrent()));
+}
+
+SimTask
+Cpu::rollbackAndThrow(int target_level)
+{
+    // Paper section 7: a rollback without registered handlers takes 6
+    // instructions (handler-stack probe, xrwsetclear, xregrestore).
+    retire(6);
+    co_await Delay{eq, 6};
+    Addr where = ctx.xvaddr();
+    rawRollback(target_level);
+    throw TxRollback{target_level, where};
+}
+
+void
+Cpu::rawRollback(int target_level)
+{
+    if (target_level <= 1)
+        ++statRollbacksToOutermost;
+    else
+        ++statRollbacksToInner;
+    for (int lvl = ctx.depth(); lvl >= target_level; --lvl) {
+        auto it = lockedAtLevel.find(lvl);
+        if (it != lockedAtLevel.end()) {
+            det.unlockLines(ctx, it->second);
+            lockedAtLevel.erase(it);
+        }
+    }
+    ctx.rollbackTo(target_level);
+    // Re-enable reporting and promote anything that arrived while the
+    // handler ran; survivors are delivered at the next poll point.
+    ctx.returnFromHandler();
+}
+
+SimTask
+Cpu::exec(std::uint64_t n)
+{
+    if (ctx.deliverable())
+        co_await deliverViolations();
+    if (n == 0)
+        co_return;
+    retire(n);
+    co_await Delay{eq, n};
+    if (ctx.deliverable())
+        co_await deliverViolations();
+}
+
+SimTask
+Cpu::timedAccess(Addr line)
+{
+    MemSystem::Lookup lk = memSys.lookup(cpuId, line);
+    if (lk.latency)
+        co_await Delay{eq, lk.latency};
+    if (lk.needsBus)
+        co_await memSys.busFill(cpuId, line);
+}
+
+WordTask
+Cpu::load(Addr addr)
+{
+    checkAlign(addr);
+    if (ctx.deliverable())
+        co_await deliverViolations();
+    retire(1);
+    ++statLoads;
+    const Addr unit = ctx.trackUnit(addr);
+    co_await timedAccess(ctx.lineOf(addr));
+    // A validated transaction pins its write-set until xcommit; late
+    // readers stall rather than observe soon-to-be-replaced data.
+    while (det.lockedByOther(ctx, unit))
+        co_await det.waitUnlocked(ctx, unit);
+    if (ctx.deliverable())
+        co_await deliverViolations();
+
+    if (!ctx.inTx()) {
+        co_return det.resolveNonTxLoad(cpuId, addr,
+                                       memSys.memory().read(addr));
+    }
+
+    if (ctx.config().conflict == ConflictMode::Eager &&
+        (ctx.levelsReading(unit) | ctx.levelsWriting(unit)) == 0) {
+        Cycles pen = det.overflowPenalty();
+        if (pen) {
+            co_await Delay{eq, pen};
+            if (ctx.deliverable())
+                co_await deliverViolations();
+        }
+        auto verdict = det.eagerCheck(ctx, unit, false);
+        if (verdict == ConflictDetector::Verdict::SelfViolate) {
+            ctx.raiseViolation(1u << (ctx.depth() - 1), unit);
+            co_await deliverViolations();
+        }
+    }
+    co_return ctx.specRead(addr);
+}
+
+SimTask
+Cpu::store(Addr addr, Word value)
+{
+    checkAlign(addr);
+    if (ctx.deliverable())
+        co_await deliverViolations();
+    retire(1);
+    ++statStores;
+    const Addr unit = ctx.trackUnit(addr);
+    co_await timedAccess(ctx.lineOf(addr));
+    while (det.lockedByOther(ctx, unit))
+        co_await det.waitUnlocked(ctx, unit);
+    if (ctx.deliverable())
+        co_await deliverViolations();
+
+    if (!ctx.inTx()) {
+        // Strong atomicity: a non-transactional store violates every
+        // transaction speculating on the unit and updates memory now;
+        // in-place speculative writers get their undo entries patched
+        // so their rollback keeps this value.
+        det.nonTxStore(cpuId, unit);
+        memSys.memory().write(addr, value);
+        det.patchInPlaceWriters(cpuId, unit, addr, value);
+        memSys.commitInvalidate(cpuId, ctx.lineOf(addr));
+        co_return;
+    }
+
+    if (ctx.config().conflict == ConflictMode::Eager &&
+        ctx.levelsWriting(unit) == 0) {
+        Cycles pen = det.overflowPenalty();
+        if (pen) {
+            co_await Delay{eq, pen};
+            if (ctx.deliverable())
+                co_await deliverViolations();
+        }
+        auto verdict = det.eagerCheck(ctx, unit, true);
+        if (verdict == ConflictDetector::Verdict::SelfViolate) {
+            ctx.raiseViolation(1u << (ctx.depth() - 1), unit);
+            co_await deliverViolations();
+        }
+    }
+    ctx.specWrite(addr, value);
+}
+
+SimTask
+Cpu::xbegin()
+{
+    if (ctx.deliverable())
+        co_await deliverViolations();
+    retire(1);
+    ctx.begin(TxKind::Closed, eq.curTick());
+    co_await Delay{eq, 1};
+}
+
+SimTask
+Cpu::xbeginOpen()
+{
+    if (ctx.deliverable())
+        co_await deliverViolations();
+    retire(1);
+    ctx.begin(TxKind::Open, eq.curTick());
+    co_await Delay{eq, 1};
+}
+
+SimTask
+Cpu::xvalidate()
+{
+    if (ctx.deliverable())
+        co_await deliverViolations();
+    retire(1);
+    co_await Delay{eq, 1};
+    if (!ctx.inTx())
+        fatal("xvalidate outside a transaction");
+
+    // A subsumed begin or a closed-nested transaction validates for
+    // free: its fate is tied to the outermost transaction.
+    if (ctx.topIsSubsumed())
+        co_return;
+    const bool outermost = ctx.depth() == 1;
+    const bool open = ctx.top().kind == TxKind::Open;
+    if (!outermost && !open)
+        co_return;
+    if (ctx.top().status == TxStatus::Validated)
+        co_return;
+
+    // A conflict recorded against this level — even one that arrived
+    // while violation reporting was disabled (handler context) — must
+    // be delivered before validation can succeed.
+    ctx.promotePendingForLevel(ctx.depth());
+    if (ctx.xvcurrent() & (1u << (ctx.depth() - 1))) {
+        ctx.setReporting(true);
+        co_await deliverViolations();
+    }
+
+    if (ctx.config().conflict == ConflictMode::Eager) {
+        // Eager systems resolved every conflict at access time; once no
+        // violation is pending, all prior accesses are conflict-free.
+        ctx.setTopValidated();
+        co_return;
+    }
+
+    // Lazy (TCC-style) validation: acquire the commit token, broadcast
+    // the write-set, pin the lines until xcommit.
+    Bus& bus = memSys.bus();
+    for (;;) {
+        ctx.promotePendingForLevel(ctx.depth());
+        if (ctx.xvcurrent() & (1u << (ctx.depth() - 1)))
+            ctx.setReporting(true);
+        if (ctx.deliverable())
+            co_await deliverViolations();
+        std::vector<Addr> lines = ctx.topWriteLines();
+        if (lines.empty()) {
+            // Read-only transaction: nothing to broadcast or pin.
+            ctx.setTopValidated();
+            co_return;
+        }
+        bool waited = false;
+        for (Addr line : lines) {
+            while (det.lockedByOther(ctx, line)) {
+                waited = true;
+                co_await det.waitUnlocked(ctx, line);
+            }
+        }
+        if (waited)
+            continue;
+
+        co_await bus.commitToken().acquire();
+        bus.countTokenGrant();
+        if (ctx.deliverable() || det.anyLockedByOther(ctx, lines)) {
+            bus.commitToken().release();
+            continue;
+        }
+
+        // Commit point: violate conflicting readers, pin the write-set.
+        Cycles penalty = det.broadcastWriteSet(ctx, lines);
+        det.lockLines(ctx, lines);
+        lockedAtLevel[ctx.depth()] = lines;
+        ctx.setTopValidated();
+
+        const Addr unitBytes =
+            ctx.config().granularity == TrackGranularity::Word
+                ? wordBytes
+                : l1.geometry().lineBytes;
+        const Cycles beats =
+            lines.size() * (1 + bus.beatsForLine(unitBytes));
+        co_await bus.occupy(beats);
+        if (penalty)
+            co_await Delay{eq, penalty};
+        bus.commitToken().release();
+        co_return;
+    }
+}
+
+SimTask
+Cpu::xcommit()
+{
+    if (ctx.deliverable())
+        co_await deliverViolations();
+    retire(1);
+    co_await Delay{eq, 1};
+    if (!ctx.inTx())
+        fatal("xcommit outside a transaction");
+
+    if (ctx.topIsSubsumed()) {
+        ctx.commitSubsumed();
+        co_return;
+    }
+
+    const bool outermost = ctx.depth() == 1;
+    const bool open = ctx.top().kind == TxKind::Open;
+    if (!outermost && !open) {
+        // Closed-nested commit: merge into the parent.
+        Cycles cost = ctx.commitClosedTop();
+        if (cost)
+            co_await Delay{eq, cost};
+        co_return;
+    }
+
+    if (ctx.top().status != TxStatus::Validated)
+        fatal("xcommit without a preceding xvalidate");
+
+    std::vector<Addr> lines = ctx.topWriteLines();
+    Cycles cost = ctx.commitTopToMemory();
+    for (Addr unit : lines)
+        memSys.commitInvalidate(cpuId, ctx.lineOf(unit));
+    auto it = lockedAtLevel.find(ctx.depth());
+    if (it != lockedAtLevel.end()) {
+        det.unlockLines(ctx, it->second);
+        lockedAtLevel.erase(it);
+    }
+    ctx.popCommittedTop();
+    if (cost)
+        co_await Delay{eq, cost};
+}
+
+SimTask
+Cpu::xrwsetclear()
+{
+    retire(1);
+    co_await Delay{eq, 1};
+    if (!ctx.inTx())
+        fatal("xrwsetclear outside a transaction");
+    TxLevel& t = ctx.top();
+    t.readLines.clear();
+    t.writeLines.clear();
+    t.writeBuffer.clear();
+    t.writtenWords.clear();
+    ctx.clearViolationBits(ctx.depth());
+}
+
+SimTask
+Cpu::xregrestore()
+{
+    retire(1);
+    co_await Delay{eq, 1};
+}
+
+SimTask
+Cpu::xabort(Word code)
+{
+    retire(1);
+    co_await Delay{eq, 1};
+    if (!ctx.inTx())
+        fatal("xabort outside a transaction");
+    // Hardware jumps to xahcode with reporting disabled.
+    ctx.setReporting(false);
+    if (abortProtocol) {
+        co_await abortProtocol(*this, code);
+        // Protocol returned without unwinding: resume the transaction.
+        ctx.setReporting(true);
+        co_return;
+    }
+    // Default: roll back the current transaction and unwind.
+    int target = ctx.depth();
+    retire(5);
+    co_await Delay{eq, 5};
+    rawRollback(target);
+    throw TxAbortSignal{target, code};
+}
+
+WordTask
+Cpu::imld(Addr addr)
+{
+    checkAlign(addr);
+    if (ctx.deliverable())
+        co_await deliverViolations();
+    retire(1);
+    co_await timedAccess(ctx.lineOf(addr));
+    co_return ctx.immRead(addr);
+}
+
+SimTask
+Cpu::imst(Addr addr, Word value)
+{
+    checkAlign(addr);
+    if (ctx.deliverable())
+        co_await deliverViolations();
+    retire(1);
+    co_await timedAccess(ctx.lineOf(addr));
+    ctx.immWrite(addr, value);
+}
+
+SimTask
+Cpu::imstid(Addr addr, Word value)
+{
+    checkAlign(addr);
+    if (ctx.deliverable())
+        co_await deliverViolations();
+    retire(1);
+    co_await timedAccess(ctx.lineOf(addr));
+    ctx.immWriteIdempotent(addr, value);
+}
+
+SimTask
+Cpu::release(Addr addr)
+{
+    retire(1);
+    co_await Delay{eq, 1};
+    ctx.releaseLine(addr);
+}
+
+} // namespace tmsim

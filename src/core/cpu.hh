@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The ISA layer: one hardware CPU context exposing every instruction of
+ * paper table 2 plus plain loads/stores and ALU execution, with the
+ * violation/abort delivery protocol of section 4.
+ *
+ * Simulated software is written as coroutines calling these methods;
+ * each call charges instructions and cycles and may suspend for memory
+ * timing. Rollback unwinds via TxRollback/TxAbortSignal exceptions.
+ */
+
+#ifndef TMSIM_CORE_CPU_HH
+#define TMSIM_CORE_CPU_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mem_system.hh"
+#include "core/tx_signals.hh"
+#include "htm/htm_context.hh"
+#include "mem/cache.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace tmsim {
+
+class Cpu
+{
+  public:
+    Cpu(CpuId id, const HtmConfig& htm_cfg, const CacheGeometry& l1_geom,
+        const CacheGeometry& l2_geom, MemSystem& mem_sys,
+        StatsRegistry& stats);
+
+    Cpu(const Cpu&) = delete;
+    Cpu& operator=(const Cpu&) = delete;
+
+    CpuId id() const { return cpuId; }
+    HtmContext& htm() { return ctx; }
+    const HtmContext& htm() const { return ctx; }
+    EventQueue& eventQueue() { return eq; }
+    MemSystem& memSystem() { return memSys; }
+    BackingStore& memory() { return memSys.memory(); }
+    Tick now() const { return eq.curTick(); }
+
+    /** Retired instruction count (CPI=1 for non-memory instructions). */
+    std::uint64_t instret() const { return instrRetired; }
+
+    /** Violations delivered to this CPU's handler protocol. */
+    std::uint64_t violationsTaken() const { return violationsDelivered; }
+
+    // --- plain execution ---
+
+    /** Execute @p n non-memory instructions (n cycles, CPI = 1). */
+    SimTask exec(std::uint64_t n);
+
+    /** Timed load; transactional when inside a transaction. */
+    WordTask load(Addr addr);
+
+    /** Timed store; transactional when inside a transaction. */
+    SimTask store(Addr addr, Word value);
+
+    // --- transaction definition (table 2) ---
+
+    /** Begin a (closed-nested) transaction. */
+    SimTask xbegin();
+
+    /** Begin an open-nested transaction. */
+    SimTask xbeginOpen();
+
+    /**
+     * Validate the current transaction's read-set: once this returns,
+     * the transaction cannot be rolled back due to a prior access.
+     */
+    SimTask xvalidate();
+
+    /** Atomically commit the current (validated) transaction. */
+    SimTask xcommit();
+
+    // --- state & handler management (table 2) ---
+
+    /** Discard the top level's read/write-set and clear its pending
+     *  violation bits (used by manual rollback sequences). */
+    SimTask xrwsetclear();
+
+    /** Restore the register checkpoint (cost model only: the actual
+     *  restart happens by re-invoking the transaction body). */
+    SimTask xregrestore();
+
+    /**
+     * Voluntarily abort the current transaction: runs the abort
+     * protocol, which rolls back and throws TxAbortSignal.
+     */
+    SimTask xabort(Word code = 0);
+
+    /** Re-enable violation reporting (xenviolrep). */
+    void xenviolrep() { ctx.setReporting(true); }
+
+    /**
+     * xvret: re-enable reporting, promote pending violations.
+     * @return true if another delivery is required.
+     */
+    bool xvret() { return ctx.returnFromHandler(); }
+
+    // --- optional performance instructions (table 2) ---
+
+    /** imld: load without read-set insertion. */
+    WordTask imld(Addr addr);
+
+    /** imst: immediate store (undo kept, no write-set insertion). */
+    SimTask imst(Addr addr, Word value);
+
+    /** imstid: idempotent immediate store (no undo information). */
+    SimTask imstid(Addr addr, Word value);
+
+    /** release: drop an address from the current read-set. */
+    SimTask release(Addr addr);
+
+    // --- handler protocol hooks (xvhcode / xahcode analogues) ---
+
+    /** Runs on violation delivery; throws to roll back, or returns to
+     *  continue the interrupted transaction (xvret semantics). */
+    using ViolationProtocol = std::function<SimTask(Cpu&)>;
+
+    /** Runs on xabort; receives the abort code. Must unwind. */
+    using AbortProtocol = std::function<SimTask(Cpu&, Word)>;
+
+    void setViolationProtocol(ViolationProtocol p);
+    void setAbortProtocol(AbortProtocol p);
+
+    // --- rollback services for protocols ---
+
+    /**
+     * Hardware rollback to @p target_level: releases commit locks held
+     * by discarded levels, restores/discards speculative state, and
+     * re-enables violation reporting (promoting pending conflicts).
+     */
+    void rawRollback(int target_level);
+
+    /** Charge the handler-free rollback cost (paper: 6 instructions),
+     *  rawRollback and throw TxRollback. */
+    SimTask rollbackAndThrow(int target_level);
+
+    /** Deliver any pending violation now (poll point for long host-side
+     *  computations inside workloads). */
+    SimTask poll();
+
+  private:
+    SimTask deliverViolations();
+    SimTask defaultViolationProtocol();
+
+    /** Pay the timed path through the private hierarchy and bus. */
+    SimTask timedAccess(Addr line);
+
+    void
+    retire(std::uint64_t n)
+    {
+        instrRetired += n;
+    }
+
+    static void checkAlign(Addr addr);
+    static int lowestLevel(std::uint32_t mask);
+
+    CpuId cpuId;
+    EventQueue& eq;
+    MemSystem& memSys;
+    Cache l1;
+    Cache l2;
+    HtmContext ctx;
+    ConflictDetector& det;
+
+    ViolationProtocol violationProtocol;
+    AbortProtocol abortProtocol;
+
+    /** Lines locked at xvalidate, per nesting level, until xcommit. */
+    std::unordered_map<int, std::vector<Addr>> lockedAtLevel;
+
+    std::uint64_t instrRetired = 0;
+    std::uint64_t violationsDelivered = 0;
+
+    StatsRegistry::Counter& statLoads;
+    StatsRegistry::Counter& statStores;
+    StatsRegistry::Counter& statViolationsTaken;
+    StatsRegistry::Counter& statRollbacksToOutermost;
+    StatsRegistry::Counter& statRollbacksToInner;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_CORE_CPU_HH

@@ -1,0 +1,64 @@
+#include "core/mem_system.hh"
+
+#include "sim/logging.hh"
+
+namespace tmsim {
+
+MemSystem::MemSystem(EventQueue& eq_, const BusConfig& bus_cfg,
+                     Addr mem_bytes, StatsRegistry& stats)
+    : eq(eq_), store(mem_bytes), sysBus(eq_, bus_cfg, stats),
+      det(eq_, stats), serialize(eq_)
+{
+}
+
+void
+MemSystem::registerCpu(CpuId cpu, Cache* l1, Cache* l2, HtmContext* ctx)
+{
+    if (cpu != static_cast<CpuId>(ports.size()))
+        panic("CPUs must register in order (got %d, expected %zu)", cpu,
+              ports.size());
+    ports.push_back(CpuPort{l1, l2, ctx});
+    det.addContext(ctx);
+}
+
+MemSystem::Lookup
+MemSystem::lookup(CpuId cpu, Addr line_addr)
+{
+    CpuPort& port = ports[static_cast<size_t>(cpu)];
+    Cycles lat = port.l1->geometry().hitLatency;
+    if (port.l1->lookup(line_addr))
+        return Lookup{lat, false};
+
+    lat += port.l2->geometry().hitLatency;
+    if (port.l2->lookup(line_addr)) {
+        // Fill L1 from L2; an L1 eviction is not an overflow as long as
+        // L2 still tracks the line, so only L2 victims count.
+        port.l1->fill(line_addr);
+        return Lookup{lat, false};
+    }
+    return Lookup{lat, true};
+}
+
+SimTask
+MemSystem::busFill(CpuId cpu, Addr line_addr)
+{
+    CpuPort& port = ports[static_cast<size_t>(cpu)];
+    co_await sysBus.lineFetch(port.l1->geometry().lineBytes);
+    EvictInfo l2Evict = port.l2->fill(line_addr);
+    if (l2Evict.evicted && l2Evict.transactional)
+        port.ctx->noteEviction(l2Evict);
+    port.l1->fill(line_addr);
+}
+
+void
+MemSystem::commitInvalidate(CpuId committer, Addr line_addr)
+{
+    for (size_t i = 0; i < ports.size(); ++i) {
+        if (static_cast<CpuId>(i) == committer)
+            continue;
+        ports[i].l1->invalidateNonSpec(line_addr);
+        ports[i].l2->invalidateNonSpec(line_addr);
+    }
+}
+
+} // namespace tmsim

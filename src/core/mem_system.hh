@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The uncore: backing memory, the system bus, the conflict detector,
+ * and the per-CPU cache registry used for timed accesses and snooping.
+ */
+
+#ifndef TMSIM_CORE_MEM_SYSTEM_HH
+#define TMSIM_CORE_MEM_SYSTEM_HH
+
+#include <vector>
+
+#include "htm/conflict_detector.hh"
+#include "mem/backing_store.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace tmsim {
+
+/**
+ * Shared memory-system state of the chip. Each Cpu performs timed
+ * accesses through here; commit broadcasts invalidate stale copies in
+ * other CPUs' private caches.
+ */
+class MemSystem
+{
+  public:
+    MemSystem(EventQueue& eq, const BusConfig& bus_cfg, Addr mem_bytes,
+              StatsRegistry& stats);
+
+    BackingStore& memory() { return store; }
+    Bus& bus() { return sysBus; }
+    ConflictDetector& detector() { return det; }
+    EventQueue& eventQueue() { return eq; }
+
+    /** Global serialization resource for the no-transactional-I/O
+     *  baseline ("revert to sequential execution"). */
+    FifoResource& serializeLock() { return serialize; }
+
+    /** Register one CPU's private caches (called by the Machine). */
+    void registerCpu(CpuId cpu, Cache* l1, Cache* l2, HtmContext* ctx);
+
+    /** Result of the synchronous part of a cache access. */
+    struct Lookup
+    {
+        /** Cycles of latency payable immediately. */
+        Cycles latency;
+        /** The access missed in both private levels: fetch via bus. */
+        bool needsBus;
+    };
+
+    /**
+     * Probe the private hierarchy of @p cpu for @p line_addr, filling
+     * on an L2 hit. Purely synchronous; the caller charges latency and,
+     * if needsBus, awaits busFill().
+     */
+    Lookup lookup(CpuId cpu, Addr line_addr);
+
+    /** Fetch @p line_addr over the bus and fill both private levels. */
+    SimTask busFill(CpuId cpu, Addr line_addr);
+
+    /**
+     * Invalidate non-speculative copies of @p line_addr in every cache
+     * except @p committer's (commit-broadcast / non-tx store snoop).
+     */
+    void commitInvalidate(CpuId committer, Addr line_addr);
+
+  private:
+    struct CpuPort
+    {
+        Cache* l1 = nullptr;
+        Cache* l2 = nullptr;
+        HtmContext* ctx = nullptr;
+    };
+
+    EventQueue& eq;
+    BackingStore store;
+    Bus sysBus;
+    ConflictDetector det;
+    FifoResource serialize;
+    std::vector<CpuPort> ports;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_CORE_MEM_SYSTEM_HH

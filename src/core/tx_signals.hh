@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Control-transfer signals used to unwind transaction bodies.
+ *
+ * A violation or abort handler that decides to roll back performs the
+ * hardware rollback (undo restore, set discard, register restore) and
+ * then throws one of these through the coroutine chain; the owning
+ * atomic() frame catches it. This models the xvpc redirection of the
+ * paper's handler protocol in a structured way.
+ */
+
+#ifndef TMSIM_CORE_TX_SIGNALS_HH
+#define TMSIM_CORE_TX_SIGNALS_HH
+
+#include "sim/types.hh"
+
+namespace tmsim {
+
+/** Rollback-and-retry signal targeted at nesting level targetLevel. */
+struct TxRollback
+{
+    /** The shallowest level that was rolled back (1-based). */
+    int targetLevel;
+    /** Conflict address (xvaddr) if available. */
+    Addr vaddr;
+};
+
+/** Voluntary abort (xabort) unwinding to level targetLevel. */
+struct TxAbortSignal
+{
+    int targetLevel;
+    /** User abort code passed to xabort. */
+    Word code;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_CORE_TX_SIGNALS_HH

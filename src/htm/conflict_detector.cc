@@ -1,0 +1,232 @@
+#include "htm/conflict_detector.hh"
+
+#include "sim/logging.hh"
+
+namespace tmsim {
+
+ConflictDetector::ConflictDetector(EventQueue& eq_, StatsRegistry& stats)
+    : eq(eq_),
+      statBroadcastLines(stats.counter("htm.broadcast_lines")),
+      statLazyViolations(stats.counter("htm.lazy_violations")),
+      statEagerConflicts(stats.counter("htm.eager_conflicts")),
+      statSelfViolations(stats.counter("htm.self_violations")),
+      statLockStalls(stats.counter("htm.lock_stalls")),
+      statStrongAtomicityViolations(
+          stats.counter("htm.strong_atomicity_violations"))
+{
+}
+
+void
+ConflictDetector::addContext(HtmContext* ctx)
+{
+    ctxs.push_back(ctx);
+}
+
+Cycles
+ConflictDetector::broadcastWriteSet(HtmContext& committer,
+                                    const std::vector<Addr>& lines)
+{
+    statBroadcastLines += lines.size();
+    for (Addr line : lines) {
+        for (HtmContext* ctx : ctxs) {
+            if (ctx == &committer || !ctx->inTx())
+                continue;
+            // Only readers are violated: a write-write overlap without
+            // a read is serialisable (the later committer's values
+            // simply supersede), and word-granular data application
+            // keeps disjoint words of a shared line intact.
+            std::uint32_t mask = ctx->levelsReading(line);
+            mask &= ~ctx->validatedLevels();
+            if (mask) {
+                ++statLazyViolations;
+                ctx->raiseViolation(mask, line);
+            }
+        }
+    }
+    return overflowPenalty();
+}
+
+void
+ConflictDetector::lockLines(const HtmContext& owner,
+                            const std::vector<Addr>& lines)
+{
+    for (Addr line : lines) {
+        auto [it, inserted] = lockOwner.emplace(line, Lock{owner.cpuId(), 1});
+        if (!inserted) {
+            if (it->second.owner != owner.cpuId())
+                panic("line 0x%llx already locked by cpu%d",
+                      static_cast<unsigned long long>(line),
+                      it->second.owner);
+            ++it->second.count;
+        }
+    }
+}
+
+void
+ConflictDetector::unlockLines(const HtmContext& owner,
+                              const std::vector<Addr>& lines)
+{
+    for (Addr line : lines) {
+        auto it = lockOwner.find(line);
+        if (it == lockOwner.end() || it->second.owner != owner.cpuId())
+            panic("unlock of line 0x%llx not held by cpu%d",
+                  static_cast<unsigned long long>(line), owner.cpuId());
+        if (--it->second.count > 0)
+            continue;
+        lockOwner.erase(it);
+        auto wit = lockWaiters.find(line);
+        if (wit != lockWaiters.end()) {
+            auto handles = std::move(wit->second);
+            lockWaiters.erase(wit);
+            for (auto h : handles)
+                eq.schedule(1, [h] { h.resume(); });
+        }
+    }
+}
+
+bool
+ConflictDetector::lockedByOther(const HtmContext& me, Addr line) const
+{
+    auto it = lockOwner.find(line);
+    return it != lockOwner.end() && it->second.owner != me.cpuId();
+}
+
+bool
+ConflictDetector::anyLockedByOther(const HtmContext& me,
+                                   const std::vector<Addr>& lines) const
+{
+    for (Addr line : lines)
+        if (lockedByOther(me, line))
+            return true;
+    return false;
+}
+
+SimTask
+ConflictDetector::waitUnlocked(const HtmContext& me, Addr line)
+{
+    while (lockedByOther(me, line)) {
+        ++statLockStalls;
+        co_await LockWait{*this, line};
+    }
+}
+
+ConflictDetector::Verdict
+ConflictDetector::eagerCheck(HtmContext& requester, Addr line,
+                             bool is_write)
+{
+    for (HtmContext* ctx : ctxs) {
+        if (ctx == &requester || !ctx->inTx())
+            continue;
+        std::uint32_t writerMask = ctx->levelsWriting(line);
+        std::uint32_t mask = writerMask;
+        if (is_write)
+            mask |= ctx->levelsReading(line);
+        if (!mask)
+            continue;
+        ++statEagerConflicts;
+
+        const bool victimValidated = (mask & ctx->validatedLevels()) != 0;
+        bool requesterLoses = victimValidated;
+        if (writerMask != 0 &&
+            ctx->config().version == VersionMode::UndoLog) {
+            // An undo-log victim's speculative data sits IN memory: the
+            // requester must not touch the line until the victim
+            // resolves (it backs off and retries). To avoid deadlock
+            // through nesting (a requester retrying an inner
+            // transaction while holding outer-level lines the victim
+            // wants), an OLDER requester also evicts the younger
+            // holder. Age gives a total priority order — the oldest
+            // transaction is never evicted, so the system always makes
+            // progress (LogTM's possible-cycle/abort-younger policy).
+            requesterLoses = true;
+            const bool evictVictim = !victimValidated &&
+                                     requester.inTx() &&
+                                     requester.age() < ctx->age();
+            if (evictVictim)
+                ctx->raiseViolation(mask & ~ctx->validatedLevels(), line);
+        }
+        if (!requesterLoses &&
+            requester.config().policy == ConflictPolicy::OlderWins) {
+            // The older transaction (earlier outermost begin) wins.
+            requesterLoses =
+                requester.inTx() && ctx->age() <= requester.age();
+        }
+
+        if (requesterLoses) {
+            ++statSelfViolations;
+            return Verdict::SelfViolate;
+        }
+        ctx->raiseViolation(mask & ~ctx->validatedLevels(), line);
+    }
+    return Verdict::Proceed;
+}
+
+void
+ConflictDetector::nonTxStore(CpuId cpu, Addr line)
+{
+    for (HtmContext* ctx : ctxs) {
+        if (ctx->cpuId() == cpu || !ctx->inTx())
+            continue;
+        std::uint32_t mask =
+            ctx->levelsReading(line) | ctx->levelsWriting(line);
+        mask &= ~ctx->validatedLevels();
+        if (mask) {
+            ++statStrongAtomicityViolations;
+            ctx->raiseViolation(mask, line);
+        }
+    }
+}
+
+Word
+ConflictDetector::resolveNonTxLoad(CpuId cpu, Addr word_addr,
+                                   Word mem_value) const
+{
+    // Strong atomicity for loads under in-place (undo-log) versioning:
+    // a non-transactional reader must observe the committed value, not
+    // a speculative write sitting in memory. The oldest undo entry
+    // holds exactly that value.
+    for (const HtmContext* ctx : ctxs) {
+        if (ctx->cpuId() == cpu)
+            continue;
+        if (ctx->wroteWordInPlace(word_addr))
+            return ctx->oldestUndoValue(word_addr);
+    }
+    return mem_value;
+}
+
+void
+ConflictDetector::patchInPlaceWriters(CpuId cpu, Addr line_addr,
+                                      Addr word_addr, Word value)
+{
+    // Strong atomicity for stores over in-place speculative data: the
+    // violated writer's eventual rollback must restore OUR value, and
+    // its read/write sets were already violated via nonTxStore().
+    for (HtmContext* ctx : ctxs) {
+        if (ctx->cpuId() == cpu)
+            continue;
+        if (ctx->config().version == VersionMode::UndoLog &&
+            ctx->inTx() &&
+            (ctx->levelsWriting(line_addr) != 0)) {
+            ctx->patchUndoEntries(word_addr, value);
+        }
+    }
+}
+
+bool
+ConflictDetector::nonTxLoadMustStall(CpuId cpu, Addr line) const
+{
+    auto it = lockOwner.find(line);
+    return it != lockOwner.end() && it->second.owner != cpu;
+}
+
+Cycles
+ConflictDetector::overflowPenalty() const
+{
+    Cycles penalty = 0;
+    for (const HtmContext* ctx : ctxs)
+        if (ctx->overflowed())
+            penalty += ctx->config().overflowCheckPenalty;
+    return penalty;
+}
+
+} // namespace tmsim

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Chip-wide conflict coordination between HTM contexts.
+ *
+ * Implements both conflict-detection styles of the paper:
+ *  - Lazy (TCC): validate-time write-set broadcast that violates every
+ *    active reader, plus a line-lock table that pins a validated
+ *    transaction's write-set until xcommit so late accessors stall
+ *    instead of reading soon-to-be-overwritten data.
+ *  - Eager (UTM/LogTM): access-time checks with requester-wins or
+ *    older-wins resolution.
+ *
+ * Also provides strong atomicity for non-transactional stores.
+ */
+
+#ifndef TMSIM_HTM_CONFLICT_DETECTOR_HH
+#define TMSIM_HTM_CONFLICT_DETECTOR_HH
+
+#include <coroutine>
+#include <unordered_map>
+#include <vector>
+
+#include "htm/htm_context.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace tmsim {
+
+class ConflictDetector
+{
+  public:
+    ConflictDetector(EventQueue& eq, StatsRegistry& stats);
+
+    /** Register a per-CPU context (called by the Machine at build). */
+    void addContext(HtmContext* ctx);
+
+    size_t numContexts() const { return ctxs.size(); }
+
+    // --- lazy protocol ---
+
+    /**
+     * Validate-time broadcast of @p committer's top-level write-set:
+     * every other context actively reading one of the lines is violated
+     * (validated levels are never violated; they are serialised before
+     * the committer).
+     * @return modelled extra check cost for overflowed contexts.
+     */
+    Cycles broadcastWriteSet(HtmContext& committer,
+                             const std::vector<Addr>& lines);
+
+    /** Pin @p owner's validated write-set lines until unlock. */
+    void lockLines(const HtmContext& owner, const std::vector<Addr>& lines);
+
+    /** Release pinned lines and wake every stalled accessor. */
+    void unlockLines(const HtmContext& owner,
+                     const std::vector<Addr>& lines);
+
+    /** True if @p line is pinned by a context other than @p me. */
+    bool lockedByOther(const HtmContext& me, Addr line) const;
+
+    /** True if any of @p lines is pinned by a context other than @p me. */
+    bool anyLockedByOther(const HtmContext& me,
+                          const std::vector<Addr>& lines) const;
+
+    /** Park until @p line is no longer pinned by somebody else. */
+    SimTask waitUnlocked(const HtmContext& me, Addr line);
+
+    // --- eager protocol ---
+
+    enum class Verdict
+    {
+        Proceed,
+        SelfViolate,
+    };
+
+    /**
+     * Access-time conflict check for @p requester touching @p line.
+     * Violates losing contexts; returns SelfViolate when the requester
+     * must abort instead (validated opponent, or older-wins policy).
+     */
+    Verdict eagerCheck(HtmContext& requester, Addr line, bool is_write);
+
+    // --- strong atomicity ---
+
+    /**
+     * A non-transactional store on @p cpu to @p line: violate every
+     * active transaction speculating on the line.
+     */
+    void nonTxStore(CpuId cpu, Addr line);
+
+    /**
+     * A non-transactional load: nothing to violate, but the caller must
+     * stall on pinned lines; exposed for symmetry/tests.
+     */
+    bool nonTxLoadMustStall(CpuId cpu, Addr line) const;
+
+    /**
+     * Strong-atomicity value resolution for a non-transactional load:
+     * if another context holds an uncommitted in-place (undo-log)
+     * write of the word, return the committed value from its undo log
+     * instead of @p mem_value.
+     */
+    Word resolveNonTxLoad(CpuId cpu, Addr word_addr, Word mem_value) const;
+
+    /**
+     * After a non-transactional store over a word speculatively
+     * written in place by transactions, patch their undo entries so
+     * their rollback restores the non-transactional value.
+     */
+    void patchInPlaceWriters(CpuId cpu, Addr line_addr, Addr word_addr,
+                             Word value);
+
+    /** Extra conflict-check latency due to overflowed contexts. */
+    Cycles overflowPenalty() const;
+
+  private:
+    struct LockWait
+    {
+        ConflictDetector& det;
+        Addr line;
+
+        bool await_ready() const { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) const
+        {
+            det.lockWaiters[line].push_back(h);
+        }
+
+        void await_resume() const {}
+    };
+
+    /** A pinned line. The count handles the same CPU validating
+     *  nested transactions that both wrote the line (e.g. an open
+     *  transaction inside a violation handler of a validated parent). */
+    struct Lock
+    {
+        CpuId owner;
+        int count;
+    };
+
+    EventQueue& eq;
+    std::vector<HtmContext*> ctxs;
+    std::unordered_map<Addr, Lock> lockOwner;
+    std::unordered_map<Addr, std::vector<std::coroutine_handle<>>>
+        lockWaiters;
+
+    StatsRegistry::Counter& statBroadcastLines;
+    StatsRegistry::Counter& statLazyViolations;
+    StatsRegistry::Counter& statEagerConflicts;
+    StatsRegistry::Counter& statSelfViolations;
+    StatsRegistry::Counter& statLockStalls;
+    StatsRegistry::Counter& statStrongAtomicityViolations;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_HTM_CONFLICT_DETECTOR_HH

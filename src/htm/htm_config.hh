@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Configuration space of the HTM engine: the design options surveyed in
+ * paper section 2.2/6 (versioning, conflict detection, nesting support).
+ */
+
+#ifndef TMSIM_HTM_HTM_CONFIG_HH
+#define TMSIM_HTM_HTM_CONFIG_HH
+
+#include <string>
+
+#include "mem/cache.hh"
+#include "sim/types.hh"
+
+namespace tmsim {
+
+/** Where speculative data lives until commit. */
+enum class VersionMode
+{
+    /** Buffer stores until commit (TCC/Herlihy style; paper 6.3.2). */
+    WriteBuffer,
+    /** Write memory in place, log old values (LogTM style; 6.3.1). */
+    UndoLog,
+};
+
+/** When conflicts are detected. */
+enum class ConflictMode
+{
+    /** At validate/commit time via write-set broadcast (TCC). */
+    Lazy,
+    /** At access time via coherence-style checks (UTM/LogTM). */
+    Eager,
+};
+
+/** Who loses an eagerly-detected conflict. */
+enum class ConflictPolicy
+{
+    /** The transaction already holding the data is violated. */
+    RequesterWins,
+    /** The younger transaction is violated (timestamp order). */
+    OlderWins,
+};
+
+/** Conflict-tracking granularity (paper 6.3.1: "If word-level
+ *  tracking is implemented, we need per-word R and W bits"). Word
+ *  granularity eliminates false sharing and makes the early-release
+ *  instruction safe (paper 4.7 notes releasing a whole cache line from
+ *  a word address is not). */
+enum class TrackGranularity
+{
+    Line,
+    Word,
+};
+
+/** How nested xbegin is treated. */
+enum class NestingMode
+{
+    /** Independent per-level tracking and rollback (this paper). */
+    Full,
+    /** Subsume inner transactions into the outermost (the baseline
+     *  flattening of prior HTM systems). */
+    Flatten,
+};
+
+/** Complete HTM configuration. */
+struct HtmConfig
+{
+    VersionMode version = VersionMode::WriteBuffer;
+    ConflictMode conflict = ConflictMode::Lazy;
+    ConflictPolicy policy = ConflictPolicy::RequesterWins;
+    NestingMode nesting = NestingMode::Full;
+    NestScheme scheme = NestScheme::Associativity;
+    TrackGranularity granularity = TrackGranularity::Line;
+
+    /** Hardware-supported nesting depth; deeper levels are handled by
+     *  the overflow/virtualisation path with a cycle penalty. */
+    int maxHwLevels = 4;
+
+    /**
+     * Closed-nested commit merge cost per read/write-set line, charged
+     * when @ref lazyMerge is false (paper 6.3: "merging is difficult to
+     * implement as a fast gang operation").
+     */
+    Cycles mergePerLineCycles = 1;
+
+    /** Model the paper's lazy merge: commit-time merge is free and the
+     *  cost folds into subsequent accesses. */
+    bool lazyMerge = true;
+
+    /** Extra conflict-check latency once a context has overflowed
+     *  transactional lines out of its caches (virtualisation). */
+    Cycles overflowCheckPenalty = 8;
+
+    /** Runtime retry backoff/jitter between transaction re-executions.
+     *  Disabling it reproduces a baseline whose flattened conflicts
+     *  cascade (see EXPERIMENTS.md on figure-5 magnitudes). */
+    bool retryBackoff = true;
+
+    /** The configuration evaluated in the paper's section 7. */
+    static HtmConfig paperLazy();
+
+    /** Eager/undo-log design point (UTM/LogTM-like). */
+    static HtmConfig eagerUndoLog();
+
+    /** The flattening baseline of figure 5. */
+    static HtmConfig flattenedBaseline();
+
+    /** Human-readable summary for bench output. */
+    std::string describe() const;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_HTM_HTM_CONFIG_HH

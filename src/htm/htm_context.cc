@@ -1,0 +1,476 @@
+#include "htm/htm_context.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tmsim {
+
+HtmContext::HtmContext(CpuId id_, const HtmConfig& cfg_, BackingStore& mem_,
+                       Cache* l1_, Cache* l2_, StatsRegistry& stats)
+    : id(id_),
+      cfg(cfg_),
+      mem(mem_),
+      l1(l1_),
+      l2(l2_),
+      lineSize(l1_ ? l1_->geometry().lineBytes : 32),
+      statBegins(stats.counter(strfmt("cpu%d.htm.begins", id_))),
+      statCommits(stats.counter(strfmt("cpu%d.htm.commits", id_))),
+      statOpenCommits(stats.counter(strfmt("cpu%d.htm.open_commits", id_))),
+      statRollbacks(stats.counter(strfmt("cpu%d.htm.rollbacks", id_))),
+      statViolationsRaised(
+          stats.counter(strfmt("cpu%d.htm.violations", id_))),
+      statSubsumed(stats.counter(strfmt("cpu%d.htm.subsumed_begins", id_)))
+{
+    if (cfg.version == VersionMode::UndoLog &&
+        cfg.conflict == ConflictMode::Lazy) {
+        fatal("undo-log versioning requires eager conflict detection: "
+              "in-place speculative writes need access-time ownership");
+    }
+}
+
+int
+HtmContext::logicalDepth() const
+{
+    int d = depth();
+    for (const auto& lvl : levels)
+        d += lvl.flattenDepth;
+    return d;
+}
+
+Tick
+HtmContext::age() const
+{
+    if (levels.empty())
+        panic("age() outside a transaction");
+    return levels.front().beginTick;
+}
+
+bool
+HtmContext::begin(TxKind kind, Tick now)
+{
+    ++statBegins;
+    const bool mustSubsume =
+        (cfg.nesting == NestingMode::Flatten && !levels.empty()) ||
+        depth() >= cfg.maxHwLevels;
+
+    if (mustSubsume) {
+        if (kind == TxKind::Open && cfg.nesting == NestingMode::Full) {
+            fatal("open-nested transaction beyond hardware nesting "
+                  "depth %d cannot be subsumed", cfg.maxHwLevels);
+        }
+        ++statSubsumed;
+        top().flattenDepth++;
+        return false;
+    }
+
+    TxLevel lvl;
+    lvl.kind = kind;
+    lvl.beginTick = now;
+    lvl.undoBase = undoLog.size();
+    levels.push_back(std::move(lvl));
+    return true;
+}
+
+bool
+HtmContext::topIsSubsumed() const
+{
+    return inTx() && top().flattenDepth > 0;
+}
+
+void
+HtmContext::commitSubsumed()
+{
+    if (!topIsSubsumed())
+        panic("commitSubsumed with no subsumed begin");
+    levels.back().flattenDepth--;
+}
+
+Word
+HtmContext::readVisible(Addr word_addr) const
+{
+    if (cfg.version == VersionMode::WriteBuffer) {
+        for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+            auto hit = it->writeBuffer.find(word_addr);
+            if (hit != it->writeBuffer.end())
+                return hit->second;
+        }
+    }
+    return mem.read(word_addr);
+}
+
+Word
+HtmContext::specRead(Addr addr)
+{
+    if (!inTx())
+        panic("specRead outside a transaction");
+    Word value = readVisible(addr);
+    top().readLines.insert(trackUnit(addr));
+    Addr line = lineOf(addr);
+    if (l1)
+        l1->markRead(line, depth());
+    if (l2)
+        l2->markRead(line, depth());
+    return value;
+}
+
+void
+HtmContext::specWrite(Addr addr, Word value)
+{
+    if (!inTx())
+        panic("specWrite outside a transaction");
+    if (cfg.version == VersionMode::WriteBuffer) {
+        top().writeBuffer[addr] = value;
+    } else {
+        pushUndo(addr);
+        mem.write(addr, value);
+        top().writtenWords.insert(addr);
+    }
+    top().writeLines.insert(trackUnit(addr));
+    Addr line = lineOf(addr);
+    if (l1)
+        l1->markWrite(line, depth());
+    if (l2)
+        l2->markWrite(line, depth());
+}
+
+Word
+HtmContext::immRead(Addr addr) const
+{
+    return inTx() ? readVisible(addr) : mem.read(addr);
+}
+
+void
+HtmContext::immWrite(Addr addr, Word value)
+{
+    if (inTx())
+        pushUndo(addr);
+    mem.write(addr, value);
+}
+
+void
+HtmContext::immWriteIdempotent(Addr addr, Word value)
+{
+    mem.write(addr, value);
+}
+
+void
+HtmContext::releaseLine(Addr addr)
+{
+    if (!inTx())
+        return;
+    top().readLines.erase(trackUnit(addr));
+}
+
+std::uint32_t
+HtmContext::levelsReading(Addr line) const
+{
+    std::uint32_t mask = 0;
+    for (size_t i = 0; i < levels.size(); ++i)
+        if (levels[i].readLines.count(line))
+            mask |= 1u << i;
+    return mask;
+}
+
+std::uint32_t
+HtmContext::levelsWriting(Addr line) const
+{
+    std::uint32_t mask = 0;
+    for (size_t i = 0; i < levels.size(); ++i)
+        if (levels[i].writeLines.count(line))
+            mask |= 1u << i;
+    return mask;
+}
+
+std::uint32_t
+HtmContext::validatedLevels() const
+{
+    std::uint32_t mask = 0;
+    for (size_t i = 0; i < levels.size(); ++i)
+        if (levels[i].status == TxStatus::Validated)
+            mask |= 1u << i;
+    return mask;
+}
+
+bool
+HtmContext::wroteWordInPlace(Addr word_addr) const
+{
+    if (cfg.version != VersionMode::UndoLog || !inTx())
+        return false;
+    for (const auto& lvl : levels)
+        if (lvl.writtenWords.count(word_addr))
+            return true;
+    return false;
+}
+
+Word
+HtmContext::oldestUndoValue(Addr word_addr) const
+{
+    for (const auto& entry : undoLog)
+        if (entry.addr == word_addr)
+            return entry.oldValue;
+    panic("oldestUndoValue: no undo entry for 0x%llx",
+          static_cast<unsigned long long>(word_addr));
+}
+
+void
+HtmContext::patchUndoEntries(Addr word_addr, Word value)
+{
+    for (auto& entry : undoLog)
+        if (entry.addr == word_addr)
+            entry.oldValue = value;
+}
+
+void
+HtmContext::setTopValidated()
+{
+    if (!inTx())
+        panic("setTopValidated outside a transaction");
+    top().status = TxStatus::Validated;
+}
+
+std::vector<Addr>
+HtmContext::topWriteLines() const
+{
+    const auto& lines = top().writeLines;
+    return std::vector<Addr>(lines.begin(), lines.end());
+}
+
+std::vector<std::pair<Addr, Word>>
+HtmContext::topWrittenWords() const
+{
+    std::vector<std::pair<Addr, Word>> words;
+    if (cfg.version == VersionMode::WriteBuffer) {
+        words.assign(top().writeBuffer.begin(), top().writeBuffer.end());
+    } else {
+        for (Addr w : top().writtenWords)
+            words.emplace_back(w, mem.read(w));
+    }
+    return words;
+}
+
+Cycles
+HtmContext::commitClosedTop()
+{
+    if (depth() < 2)
+        panic("commitClosedTop at depth %d", depth());
+    TxLevel child = std::move(levels.back());
+    levels.pop_back();
+    TxLevel& parent = levels.back();
+
+    parent.readLines.insert(child.readLines.begin(), child.readLines.end());
+    parent.writeLines.insert(child.writeLines.begin(),
+                             child.writeLines.end());
+    for (const auto& [word, value] : child.writeBuffer)
+        parent.writeBuffer[word] = value;
+    parent.writtenWords.insert(child.writtenWords.begin(),
+                               child.writtenWords.end());
+    // Undo-log entries of the child are absorbed by the parent simply
+    // because the parent's undoBase already bounds them (paper 6.3.1).
+
+    int childLevel = depth() + 1;
+    if (l1)
+        l1->mergeLevelDown(childLevel);
+    if (l2)
+        l2->mergeLevelDown(childLevel);
+    // A conflict recorded against the child between its last poll
+    // point and this merge now applies to the parent: the stale data
+    // just merged into the parent's sets. Transfer the mask bits
+    // instead of dropping them.
+    {
+        const std::uint32_t childBit = 1u << (childLevel - 1);
+        const std::uint32_t parentBit = childBit >> 1;
+        if (vcurrent & childBit)
+            vcurrent = (vcurrent & ~childBit) | parentBit;
+        if (vpending & childBit)
+            vpending = (vpending & ~childBit) | parentBit;
+    }
+    ++statCommits;
+
+    if (cfg.lazyMerge)
+        return 0;
+    return cfg.mergePerLineCycles *
+           (child.readSetSize() + child.writeSetSize());
+}
+
+Cycles
+HtmContext::commitTopToMemory()
+{
+    if (!inTx())
+        panic("commitTopToMemory outside a transaction");
+    TxLevel& t = top();
+    Cycles cost = 0;
+
+    if (cfg.version == VersionMode::WriteBuffer) {
+        for (const auto& [word, value] : t.writeBuffer) {
+            mem.write(word, value);
+            // Open-nested commit: ancestors holding a speculative
+            // version of this word observe the committed value without
+            // any change to their read/write sets (paper 4.5).
+            for (int i = depth() - 1; i >= 1; --i) {
+                auto& buf = levels[static_cast<size_t>(i - 1)].writeBuffer;
+                auto hit = buf.find(word);
+                if (hit != buf.end())
+                    hit->second = value;
+            }
+        }
+    } else {
+        // Undo-log: memory is already current. For an open-nested
+        // commit, patch ancestor undo entries so a later ancestor
+        // rollback does not revert this committed update (paper 6.3.1:
+        // "requires an expensive search through the undo-log").
+        if (depth() > 1) {
+            size_t base = t.undoBase;
+            for (Addr word : t.writtenWords) {
+                Word committed = mem.read(word);
+                for (size_t i = 0; i < base; ++i) {
+                    ++cost;
+                    if (undoLog[i].addr == word)
+                        undoLog[i].oldValue = committed;
+                }
+            }
+        }
+        undoLog.resize(t.undoBase);
+    }
+    return cost;
+}
+
+void
+HtmContext::popCommittedTop()
+{
+    if (!inTx())
+        panic("popCommittedTop outside a transaction");
+    int lvl = depth();
+    if (top().kind == TxKind::Open && lvl > 1)
+        ++statOpenCommits;
+    else
+        ++statCommits;
+    if (l1)
+        l1->commitOpenLevel(lvl);
+    if (l2)
+        l2->commitOpenLevel(lvl);
+    clearViolationBits(lvl);
+    levels.pop_back();
+    if (levels.empty())
+        overflowLines = 0;
+}
+
+void
+HtmContext::rollbackTo(int target)
+{
+    if (target < 1 || target > depth())
+        panic("rollbackTo(%d) with depth %d", target, depth());
+    for (int lvl = depth(); lvl >= target; --lvl) {
+        TxLevel& t = levels.back();
+        // Restore in-place speculative writes (undo-log stores and any
+        // imst undo records) in FILO order.
+        while (undoLog.size() > t.undoBase) {
+            const UndoEntry& e = undoLog.back();
+            mem.write(e.addr, e.oldValue);
+            undoLog.pop_back();
+        }
+        if (l1)
+            l1->clearLevel(lvl);
+        if (l2)
+            l2->clearLevel(lvl);
+        clearViolationBits(lvl);
+        levels.pop_back();
+        ++statRollbacks;
+    }
+    if (levels.empty())
+        overflowLines = 0;
+}
+
+void
+HtmContext::raiseViolation(std::uint32_t mask, Addr where)
+{
+    if (mask == 0)
+        panic("raiseViolation with empty mask");
+    ++statViolationsRaised;
+    if (reporting)
+        vcurrent |= mask;
+    else
+        vpending |= mask;
+    vaddr = where;
+    if (violationHook)
+        violationHook();
+}
+
+bool
+HtmContext::returnFromHandler()
+{
+    reporting = true;
+    vcurrent |= vpending;
+    vpending = 0;
+    return vcurrent != 0;
+}
+
+void
+HtmContext::clearViolationBits(int lvl)
+{
+    std::uint32_t bit = 1u << (lvl - 1);
+    vcurrent &= ~bit;
+    vpending &= ~bit;
+}
+
+void
+HtmContext::clampMasksToDepth()
+{
+    if (levels.empty()) {
+        vcurrent = 0;
+        vpending = 0;
+        return;
+    }
+    const std::uint32_t valid = (1u << depth()) - 1;
+    if (vcurrent & ~valid)
+        vcurrent = (vcurrent & valid) | (1u << (depth() - 1));
+    if (vpending & ~valid)
+        vpending = (vpending & valid) | (1u << (depth() - 1));
+}
+
+void
+HtmContext::promotePendingForLevel(int lvl)
+{
+    std::uint32_t bit = 1u << (lvl - 1);
+    if (vpending & bit) {
+        vpending &= ~bit;
+        vcurrent |= bit;
+    }
+}
+
+void
+HtmContext::setViolationHook(std::function<void()> hook)
+{
+    violationHook = std::move(hook);
+}
+
+void
+HtmContext::noteEviction(const EvictInfo& info)
+{
+    if (info.evicted && info.transactional)
+        ++overflowLines;
+}
+
+void
+HtmContext::pushUndo(Addr word_addr)
+{
+    undoLog.push_back(UndoEntry{word_addr, mem.read(word_addr)});
+}
+
+void
+HtmContext::resetAll()
+{
+    levels.clear();
+    undoLog.clear();
+    vcurrent = 0;
+    vpending = 0;
+    vaddr = invalidAddr;
+    reporting = true;
+    overflowLines = 0;
+    if (l1)
+        l1->clearAllTx();
+    if (l2)
+        l2->clearAllTx();
+}
+
+} // namespace tmsim

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Per-CPU hardware transactional state: the nesting-level stack,
+ * speculative versioning (write-buffer or undo-log), authoritative
+ * read/write sets, and the violation mask registers of paper table 1.
+ */
+
+#ifndef TMSIM_HTM_HTM_CONTEXT_HH
+#define TMSIM_HTM_HTM_CONTEXT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "htm/htm_config.hh"
+#include "htm/tx_level.hh"
+#include "mem/backing_store.hh"
+#include "mem/cache.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tmsim {
+
+/**
+ * The transactional half of one hardware CPU context. Owns the stack of
+ * active nesting levels and the speculative data; knows nothing about
+ * timing (the Cpu charges cycles) or about other CPUs (the
+ * ConflictDetector coordinates).
+ */
+class HtmContext
+{
+  public:
+    HtmContext(CpuId id, const HtmConfig& cfg, BackingStore& mem,
+               Cache* l1, Cache* l2, StatsRegistry& stats);
+
+    CpuId cpuId() const { return id; }
+    const HtmConfig& config() const { return cfg; }
+    Addr lineBytes() const { return lineSize; }
+    Addr lineOf(Addr addr) const { return addr & ~(lineSize - 1); }
+
+    /** The conflict-tracking unit for @p addr: the line address under
+     *  line granularity, the word address under word granularity. */
+    Addr
+    trackUnit(Addr addr) const
+    {
+        return cfg.granularity == TrackGranularity::Word
+                   ? (addr & ~(wordBytes - 1))
+                   : lineOf(addr);
+    }
+
+    // --- transaction structure ---
+
+    /** Number of hardware nesting levels currently active. */
+    int depth() const { return static_cast<int>(levels.size()); }
+
+    /** Nesting depth including flattened (subsumed) inner begins. */
+    int logicalDepth() const;
+
+    bool inTx() const { return !levels.empty(); }
+
+    /** 1-based access to a nesting level. */
+    TxLevel& level(int i) { return levels[static_cast<size_t>(i - 1)]; }
+    const TxLevel&
+    level(int i) const
+    {
+        return levels[static_cast<size_t>(i - 1)];
+    }
+
+    TxLevel& top() { return levels.back(); }
+    const TxLevel& top() const { return levels.back(); }
+
+    /** Begin tick of the outermost transaction (conflict age). */
+    Tick age() const;
+
+    /**
+     * Push a nesting level (xbegin / xbegin_open).
+     * @return true if a new hardware level was created; false if the
+     * begin was subsumed (flattening mode, or hardware depth exceeded).
+     */
+    bool begin(TxKind kind, Tick now);
+
+    /** True if the innermost xcommit should only pop a subsumed begin. */
+    bool topIsSubsumed() const;
+
+    /** Note a subsumed commit (decrements the flatten depth). */
+    void commitSubsumed();
+
+    // --- speculative data access (no timing) ---
+
+    /** Transactional load visible at the current level. */
+    Word specRead(Addr addr);
+
+    /** Transactional store at the current level. */
+    void specWrite(Addr addr, Word value);
+
+    /** imld: load without read-set insertion. */
+    Word immRead(Addr addr) const;
+
+    /** imst: store to memory immediately, keeping undo information but
+     *  no write-set membership. */
+    void immWrite(Addr addr, Word value);
+
+    /** imstid: idempotent immediate store: no undo information. */
+    void immWriteIdempotent(Addr addr, Word value);
+
+    /** release: drop a line from the current level's read-set. */
+    void releaseLine(Addr addr);
+
+    // --- set queries (line addresses), used by conflict detection ---
+
+    /** Bitmask of levels (bit level-1) whose read-set contains @p line. */
+    std::uint32_t levelsReading(Addr line) const;
+
+    /** Bitmask of levels whose write-set contains @p line. */
+    std::uint32_t levelsWriting(Addr line) const;
+
+    /** Bitmask of levels whose status is Validated. */
+    std::uint32_t validatedLevels() const;
+
+    /** UndoLog mode: this context has an uncommitted in-place write of
+     *  @p word_addr. */
+    bool wroteWordInPlace(Addr word_addr) const;
+
+    /** UndoLog mode: the oldest (committed) value of @p word_addr in
+     *  this context's undo log. Only valid if wroteWordInPlace(). */
+    Word oldestUndoValue(Addr word_addr) const;
+
+    /** UndoLog mode: overwrite every undo entry for @p word_addr so a
+     *  later rollback restores @p value (strong-atomicity store over
+     *  an in-place speculative write). */
+    void patchUndoEntries(Addr word_addr, Word value);
+
+    // --- commit and rollback (no timing; returns modelled costs) ---
+
+    void setTopValidated();
+
+    /** Lines in the top level's write-set (broadcast / locking). */
+    std::vector<Addr> topWriteLines() const;
+
+    /** Words written by the top level, with their current values. */
+    std::vector<std::pair<Addr, Word>> topWrittenWords() const;
+
+    /**
+     * Closed-nested commit: merge the top level into its parent.
+     * @return merge cost in cycles (0 under lazy merging).
+     */
+    Cycles commitClosedTop();
+
+    /**
+     * Apply the top level's speculative writes to memory (outermost or
+     * open-nested commit) and patch ancestor versions/undo entries.
+     * @return modelled cost in cycles for ancestor-patch searches.
+     */
+    Cycles commitTopToMemory();
+
+    /** Pop the committed top level (after commitTopToMemory). */
+    void popCommittedTop();
+
+    /**
+     * Roll back levels top..@p target (inclusive): restore undo data,
+     * discard buffers/sets, clear cache annotations and violation-mask
+     * bits for the discarded levels.
+     */
+    void rollbackTo(int target);
+
+    // --- violation registers (paper table 1) ---
+
+    /** Record a conflict hitting @p mask levels at line @p where. */
+    void raiseViolation(std::uint32_t mask, Addr where);
+
+    bool reportingEnabled() const { return reporting; }
+    void setReporting(bool on) { reporting = on; }
+
+    std::uint32_t xvcurrent() const { return vcurrent; }
+    std::uint32_t xvpending() const { return vpending; }
+    Addr xvaddr() const { return vaddr; }
+
+    /** Deliverable = reporting enabled and xvcurrent nonzero. */
+    bool deliverable() const { return reporting && vcurrent != 0; }
+
+    /** xvret: re-enable reporting and promote pending bits.
+     *  @return true if another delivery is required. */
+    bool returnFromHandler();
+
+    /** Clear both mask bits for @p lvl (xrwsetclear side effect). */
+    void clearViolationBits(int lvl);
+
+    /** Acknowledge every delivered violation (software "continue"). */
+    void clearCurrentViolations() { vcurrent = 0; }
+
+    /**
+     * Remap mask bits that refer to levels deeper than the current
+     * depth (the level committed/merged since the conflict was raised)
+     * onto the current innermost level; drop everything if no
+     * transaction is active.
+     */
+    void clampMasksToDepth();
+
+    /**
+     * Promote a pending violation bit for @p lvl into xvcurrent even
+     * while reporting is disabled. Used by xvalidate: a transaction
+     * with a conflict recorded against it must not validate.
+     */
+    void promotePendingForLevel(int lvl);
+
+    /** Hook invoked on every raiseViolation (Cpu wake-ups). */
+    void setViolationHook(std::function<void()> hook);
+
+    // --- capacity / virtualisation ---
+
+    /** Inform the context that a cache evicted a transactional line. */
+    void noteEviction(const EvictInfo& info);
+
+    /** True if conflict checks must consult the overflow table. */
+    bool overflowed() const { return overflowLines > 0; }
+
+    /** Undo-log depth (tests / stats). */
+    size_t undoLogSize() const { return undoLog.size(); }
+
+    /** Full reset of all transactional state (tests only). */
+    void resetAll();
+
+  private:
+    struct UndoEntry
+    {
+        Addr addr;
+        Word oldValue;
+    };
+
+    /** Word-granularity value visible at the current level. */
+    Word readVisible(Addr word_addr) const;
+
+    void pushUndo(Addr word_addr);
+
+    CpuId id;
+    HtmConfig cfg;
+    BackingStore& mem;
+    Cache* l1;
+    Cache* l2;
+    Addr lineSize;
+
+    std::vector<TxLevel> levels;
+    std::vector<UndoEntry> undoLog;
+
+    // Violation registers.
+    std::uint32_t vcurrent = 0;
+    std::uint32_t vpending = 0;
+    Addr vaddr = invalidAddr;
+    bool reporting = true;
+    std::function<void()> violationHook;
+
+    std::uint64_t overflowLines = 0;
+
+    StatsRegistry::Counter& statBegins;
+    StatsRegistry::Counter& statCommits;
+    StatsRegistry::Counter& statOpenCommits;
+    StatsRegistry::Counter& statRollbacks;
+    StatsRegistry::Counter& statViolationsRaised;
+    StatsRegistry::Counter& statSubsumed;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_HTM_HTM_CONTEXT_HH

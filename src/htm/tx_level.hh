@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-nesting-level transactional state: the hardware-tracked portion
+ * of a Transaction Control Block (paper figure 2).
+ */
+
+#ifndef TMSIM_HTM_TX_LEVEL_HH
+#define TMSIM_HTM_TX_LEVEL_HH
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/types.hh"
+
+namespace tmsim {
+
+/** Closed vs open nesting (xbegin vs xbegin_open). */
+enum class TxKind
+{
+    Closed,
+    Open,
+};
+
+/** Status field of xstatus. */
+enum class TxStatus
+{
+    Active,
+    Validated,
+};
+
+/**
+ * One active nesting level. The read-set/write-set here are the
+ * authoritative line-granularity sets; the cache annotations mirror
+ * them for capacity/timing modelling.
+ */
+struct TxLevel
+{
+    TxKind kind = TxKind::Closed;
+    TxStatus status = TxStatus::Active;
+
+    /** Tick of the xbegin that created this level (conflict ages). */
+    Tick beginTick = 0;
+
+    /** Line-granularity read and write sets. */
+    std::unordered_set<Addr> readLines;
+    std::unordered_set<Addr> writeLines;
+
+    /** Word-granularity speculative data (VersionMode::WriteBuffer). */
+    std::unordered_map<Addr, Word> writeBuffer;
+
+    /** Word addresses written at this level (VersionMode::UndoLog;
+     *  used for open-nested ancestor patching and broadcasts). */
+    std::unordered_set<Addr> writtenWords;
+
+    /** First undo-log index belonging to this level. */
+    size_t undoBase = 0;
+
+    /** Flattening-mode subsumption depth riding on this level. */
+    int flattenDepth = 0;
+
+    /** Cheap size accessors used for commit/merge cost modelling. */
+    size_t readSetSize() const { return readLines.size(); }
+    size_t writeSetSize() const { return writeLines.size(); }
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_HTM_TX_LEVEL_HH

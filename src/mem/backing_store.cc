@@ -1,0 +1,73 @@
+#include "mem/backing_store.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace tmsim {
+
+BackingStore::BackingStore(Addr size_bytes)
+    : words((size_bytes + wordBytes - 1) / wordBytes, 0),
+      bytes(size_bytes),
+      // Keep address 0 unmapped-ish: start allocations at one line so a
+      // zero Addr can serve as a null pointer in workloads.
+      brkPtr(64)
+{
+    if (size_bytes == 0)
+        fatal("BackingStore size must be nonzero");
+}
+
+void
+BackingStore::checkAddr(Addr addr) const
+{
+    if (addr % wordBytes != 0)
+        panic("unaligned word access at 0x%llx",
+              static_cast<unsigned long long>(addr));
+    if (addr + wordBytes > bytes)
+        panic("out-of-range memory access at 0x%llx",
+              static_cast<unsigned long long>(addr));
+}
+
+Word
+BackingStore::read(Addr addr) const
+{
+    checkAddr(addr);
+    return words[addr / wordBytes];
+}
+
+void
+BackingStore::write(Addr addr, Word value)
+{
+    checkAddr(addr);
+    // Debug watchpoint: set TMSIM_WATCH_ADDR=<addr> to trace every
+    // architectural write to one simulated word (committed stores,
+    // in-place speculative stores, and undo restores).
+    static Addr watch = [] {
+        const char* env = getenv("TMSIM_WATCH_ADDR");
+        return env ? static_cast<Addr>(strtoull(env, nullptr, 0))
+                   : invalidAddr;
+    }();
+    if (addr == watch) {
+        fprintf(stderr, "[watch] 0x%llx: %llu -> %llu\n",
+                (unsigned long long)addr,
+                (unsigned long long)words[addr / wordBytes],
+                (unsigned long long)value);
+    }
+    words[addr / wordBytes] = value;
+}
+
+Addr
+BackingStore::allocate(Addr n_bytes, Addr align)
+{
+    if (align == 0 || (align & (align - 1)) != 0)
+        panic("allocation alignment must be a power of two");
+    Addr base = (brkPtr + align - 1) & ~(align - 1);
+    if (base + n_bytes > bytes)
+        fatal("simulated memory exhausted (%llu bytes requested)",
+              static_cast<unsigned long long>(n_bytes));
+    brkPtr = base + n_bytes;
+    return base;
+}
+
+} // namespace tmsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Flat word-addressable simulated physical memory with a bump allocator
+ * for workload setup.
+ */
+
+#ifndef TMSIM_MEM_BACKING_STORE_HH
+#define TMSIM_MEM_BACKING_STORE_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tmsim {
+
+/**
+ * The architectural memory image. Committed transactional state and
+ * non-speculative data live here. Access is untimed; all timing is
+ * modelled by the cache hierarchy and bus.
+ */
+class BackingStore
+{
+  public:
+    /** @param size_bytes total simulated physical memory. */
+    explicit BackingStore(Addr size_bytes);
+
+    /** Read the aligned 64-bit word at @p addr. */
+    Word read(Addr addr) const;
+
+    /** Write the aligned 64-bit word at @p addr. */
+    void write(Addr addr, Word value);
+
+    /** Total size in bytes. */
+    Addr size() const { return bytes; }
+
+    /**
+     * Host-side allocation of simulated memory for workload setup and
+     * for the runtime's thread-private regions (TCB stacks, handler
+     * stacks, undo logs). Alignment defaults to a cache line.
+     */
+    Addr allocate(Addr n_bytes, Addr align = 64);
+
+    /** Current allocation high-water mark. */
+    Addr brk() const { return brkPtr; }
+
+  private:
+    void checkAddr(Addr addr) const;
+
+    std::vector<Word> words;
+    Addr bytes;
+    Addr brkPtr;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_MEM_BACKING_STORE_HH

@@ -1,0 +1,47 @@
+#include "mem/bus.hh"
+
+namespace tmsim {
+
+Bus::Bus(EventQueue& eq_, const BusConfig& cfg_, StatsRegistry& stats)
+    : eq(eq_),
+      cfg(cfg_),
+      arbiter(eq_),
+      token(eq_),
+      statTransfers(stats.counter("bus.transfers")),
+      statBusyCycles(stats.counter("bus.busy_cycles")),
+      statTokenGrants(stats.counter("bus.token_grants"))
+{
+}
+
+SimTask
+Bus::lineFetch(Addr line_bytes)
+{
+    // Request phase: one address beat on the bus.
+    co_await arbiter.acquire();
+    ++statTransfers;
+    statBusyCycles += cfg.arbitrationLatency + 1;
+    co_await Delay{eq, cfg.arbitrationLatency + 1};
+    arbiter.release();
+
+    // DRAM access proceeds off the bus.
+    co_await Delay{eq, cfg.memoryLatency};
+
+    // Response phase: data beats.
+    Cycles beats = beatsForLine(line_bytes);
+    co_await arbiter.acquire();
+    statBusyCycles += beats;
+    co_await Delay{eq, beats};
+    arbiter.release();
+}
+
+SimTask
+Bus::occupy(Cycles beats)
+{
+    co_await arbiter.acquire();
+    ++statTransfers;
+    statBusyCycles += cfg.arbitrationLatency + beats;
+    co_await Delay{eq, cfg.arbitrationLatency + beats};
+    arbiter.release();
+}
+
+} // namespace tmsim

@@ -1,0 +1,409 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tmsim {
+
+Cache::Cache(std::string name_, const CacheGeometry& geom_,
+             NestScheme scheme_, int max_levels, StatsRegistry& stats)
+    : name(std::move(name_)),
+      geom(geom_),
+      scheme(scheme_),
+      maxLevels(max_levels),
+      statHits(stats.counter(name + ".hits")),
+      statMisses(stats.counter(name + ".misses")),
+      statEvictions(stats.counter(name + ".evictions")),
+      statTxOverflows(stats.counter(name + ".tx_overflows")),
+      statReplications(stats.counter(name + ".version_replications"))
+{
+    geom.validate(name.c_str());
+    if (maxLevels < 1 || maxLevels > 30)
+        fatal("%s: max nesting levels must be in [1, 30]", name.c_str());
+    sets.assign(geom.numSets(),
+                std::vector<Line>(static_cast<size_t>(geom.assoc)));
+}
+
+std::vector<Cache::Line>&
+Cache::setFor(Addr line_addr)
+{
+    return sets[static_cast<size_t>(geom.setIndex(line_addr))];
+}
+
+const std::vector<Cache::Line>&
+Cache::setFor(Addr line_addr) const
+{
+    return sets[static_cast<size_t>(geom.setIndex(line_addr))];
+}
+
+Cache::Line*
+Cache::findLine(Addr line_addr)
+{
+    Line* best = nullptr;
+    for (auto& line : setFor(line_addr)) {
+        if (line.valid && line.lineAddr == line_addr) {
+            // Associativity scheme: the most recent version has the
+            // highest NL field.
+            if (!best || line.nl > best->nl)
+                best = &line;
+        }
+    }
+    return best;
+}
+
+const Cache::Line*
+Cache::findLine(Addr line_addr) const
+{
+    return const_cast<Cache*>(this)->findLine(line_addr);
+}
+
+bool
+Cache::contains(Addr line_addr) const
+{
+    return findLine(line_addr) != nullptr;
+}
+
+bool
+Cache::lookup(Addr line_addr)
+{
+    Line* line = findLine(line_addr);
+    if (line) {
+        touch(*line);
+        ++statHits;
+        return true;
+    }
+    ++statMisses;
+    return false;
+}
+
+Cache::Line*
+Cache::allocate(Addr line_addr, EvictInfo* evict)
+{
+    auto& ways = setFor(line_addr);
+    Line* victim = nullptr;
+    // Prefer an invalid way, then the LRU non-transactional line, then
+    // the LRU line overall (which forces a transactional overflow).
+    for (auto& line : ways) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+    }
+    if (!victim) {
+        Line* lruPlain = nullptr;
+        Line* lruAny = nullptr;
+        for (auto& line : ways) {
+            if (!lruAny || line.lru < lruAny->lru)
+                lruAny = &line;
+            if (!line.isTx() && (!lruPlain || line.lru < lruPlain->lru))
+                lruPlain = &line;
+        }
+        victim = lruPlain ? lruPlain : lruAny;
+        ++statEvictions;
+        if (victim->isTx())
+            ++statTxOverflows;
+        if (evict) {
+            evict->evicted = true;
+            evict->lineAddr = victim->lineAddr;
+            evict->transactional = victim->isTx();
+        }
+    }
+    *victim = Line{};
+    victim->valid = true;
+    victim->lineAddr = line_addr;
+    touch(*victim);
+    return victim;
+}
+
+EvictInfo
+Cache::fill(Addr line_addr)
+{
+    EvictInfo evict;
+    if (Line* line = findLine(line_addr)) {
+        touch(*line);
+        return evict;
+    }
+    allocate(line_addr, &evict);
+    return evict;
+}
+
+void
+Cache::invalidateNonSpec(Addr line_addr)
+{
+    for (auto& line : setFor(line_addr)) {
+        if (line.valid && line.lineAddr == line_addr && !line.isTx() &&
+            line.nl == 0) {
+            line = Line{};
+        }
+    }
+}
+
+namespace {
+
+std::uint32_t
+levelBit(int level)
+{
+    return 1u << (level - 1);
+}
+
+} // namespace
+
+void
+Cache::markRead(Addr line_addr, int level)
+{
+    if (level < 1)
+        panic("markRead at non-transactional level %d", level);
+    int eff = std::min(level, maxLevels);
+
+    if (scheme == NestScheme::MultiTracking) {
+        Line* line = findLine(line_addr);
+        if (!line)
+            line = allocate(line_addr, nullptr);
+        line->readMask |= levelBit(eff);
+        touch(*line);
+        return;
+    }
+
+    // Associativity scheme.
+    Line* line = findLine(line_addr);
+    if (!line) {
+        line = allocate(line_addr, nullptr);
+        line->nl = eff;
+    } else if (line->nl == 0) {
+        line->nl = eff;
+    } else if (line->nl < eff) {
+        // A version belonging to an ancestor exists: replicate into a
+        // new way of the same set (paper section 6.3.2).
+        ++statReplications;
+        line = allocate(line_addr, nullptr);
+        line->nl = eff;
+    }
+    line->readMask |= 1;
+    touch(*line);
+}
+
+void
+Cache::markWrite(Addr line_addr, int level)
+{
+    if (level < 1)
+        panic("markWrite at non-transactional level %d", level);
+    int eff = std::min(level, maxLevels);
+
+    if (scheme == NestScheme::MultiTracking) {
+        Line* line = findLine(line_addr);
+        if (!line)
+            line = allocate(line_addr, nullptr);
+        line->writeMask |= levelBit(eff);
+        touch(*line);
+        return;
+    }
+
+    Line* line = findLine(line_addr);
+    if (!line) {
+        line = allocate(line_addr, nullptr);
+        line->nl = eff;
+    } else if (line->nl == 0) {
+        line->nl = eff;
+    } else if (line->nl < eff) {
+        ++statReplications;
+        line = allocate(line_addr, nullptr);
+        line->nl = eff;
+    }
+    line->writeMask |= 1;
+    touch(*line);
+}
+
+bool
+Cache::hasTxMeta(Addr line_addr) const
+{
+    for (const auto& line : setFor(line_addr)) {
+        if (line.valid && line.lineAddr == line_addr && line.isTx())
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::isRead(Addr line_addr, int level) const
+{
+    int eff = std::min(level, maxLevels);
+    for (const auto& line : setFor(line_addr)) {
+        if (!line.valid || line.lineAddr != line_addr)
+            continue;
+        if (scheme == NestScheme::MultiTracking) {
+            if (line.readMask & levelBit(eff))
+                return true;
+        } else if (line.nl == eff && (line.readMask & 1)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Cache::isWritten(Addr line_addr, int level) const
+{
+    int eff = std::min(level, maxLevels);
+    for (const auto& line : setFor(line_addr)) {
+        if (!line.valid || line.lineAddr != line_addr)
+            continue;
+        if (scheme == NestScheme::MultiTracking) {
+            if (line.writeMask & levelBit(eff))
+                return true;
+        } else if (line.nl == eff && (line.writeMask & 1)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::clearLevel(int level)
+{
+    int eff = std::min(level, maxLevels);
+    for (auto& set : sets) {
+        for (auto& line : set) {
+            if (!line.valid)
+                continue;
+            if (scheme == NestScheme::MultiTracking) {
+                line.readMask &= ~levelBit(eff);
+                line.writeMask &= ~levelBit(eff);
+            } else if (line.nl == eff) {
+                if (line.writeMask) {
+                    // Dirty speculative version: discard (the
+                    // committed version, if any, lives in another way
+                    // or in memory).
+                    line = Line{};
+                } else {
+                    // Read-only at this level: the data is committed
+                    // and stays valid; only the annotation dies.
+                    line.nl = 0;
+                    line.readMask = 0;
+                }
+            }
+        }
+    }
+}
+
+void
+Cache::mergeLevelDown(int level)
+{
+    int eff = std::min(level, maxLevels);
+    std::uint32_t bit = levelBit(eff);
+    std::uint32_t below = eff >= 2 ? levelBit(eff - 1) : 0;
+
+    for (auto& set : sets) {
+        for (auto& line : set) {
+            if (!line.valid)
+                continue;
+            if (scheme == NestScheme::MultiTracking) {
+                if (line.readMask & bit) {
+                    line.readMask &= ~bit;
+                    line.readMask |= below;
+                }
+                if (line.writeMask & bit) {
+                    line.writeMask &= ~bit;
+                    line.writeMask |= below;
+                }
+            } else if (line.nl == eff) {
+                // Retag to the parent level; merge into an existing
+                // parent version if one occupies the same set.
+                Line* parent = nullptr;
+                for (auto& other : set) {
+                    if (&other != &line && other.valid &&
+                        other.lineAddr == line.lineAddr &&
+                        other.nl == eff - 1) {
+                        parent = &other;
+                        break;
+                    }
+                }
+                if (parent) {
+                    parent->readMask |= line.readMask;
+                    parent->writeMask |= line.writeMask;
+                    line = Line{};
+                } else {
+                    line.nl = eff - 1;
+                    if (line.nl == 0) {
+                        line.readMask = 0;
+                        line.writeMask = 0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+Cache::commitOpenLevel(int level)
+{
+    int eff = std::min(level, maxLevels);
+    for (auto& set : sets) {
+        for (auto& line : set) {
+            if (!line.valid)
+                continue;
+            if (scheme == NestScheme::MultiTracking) {
+                line.readMask &= ~levelBit(eff);
+                line.writeMask &= ~levelBit(eff);
+            } else if (line.nl == eff) {
+                // Keep the (now committed) data as a plain line unless
+                // a plain copy already exists in the set.
+                Line* plain = nullptr;
+                for (auto& other : set) {
+                    if (&other != &line && other.valid &&
+                        other.lineAddr == line.lineAddr && other.nl == 0) {
+                        plain = &other;
+                        break;
+                    }
+                }
+                if (plain) {
+                    line = Line{};
+                } else {
+                    line.nl = 0;
+                    line.readMask = 0;
+                    line.writeMask = 0;
+                }
+            }
+        }
+    }
+}
+
+void
+Cache::clearAllTx()
+{
+    for (auto& set : sets) {
+        for (auto& line : set) {
+            if (!line.valid)
+                continue;
+            if (scheme == NestScheme::MultiTracking) {
+                line.readMask = 0;
+                line.writeMask = 0;
+            } else if (line.nl != 0) {
+                line = Line{};
+            }
+        }
+    }
+}
+
+std::uint64_t
+Cache::txLineCount() const
+{
+    std::uint64_t count = 0;
+    for (const auto& set : sets)
+        for (const auto& line : set)
+            if (line.valid && (line.isTx() || line.nl != 0))
+                ++count;
+    return count;
+}
+
+int
+Cache::versionCount(Addr line_addr) const
+{
+    int count = 0;
+    for (const auto& line : setFor(line_addr))
+        if (line.valid && line.lineAddr == line_addr)
+            ++count;
+    return count;
+}
+
+} // namespace tmsim

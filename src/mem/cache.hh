@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Private cache model with transactional line metadata.
+ *
+ * The cache tracks presence and replacement for timing, and carries the
+ * per-line transactional annotations of the paper's two nesting schemes
+ * (section 6.3):
+ *
+ *  - MultiTracking: each line has R_i/W_i bits for every nesting level
+ *    (figure 4a). Rollback gang-clears a level; closed commit ORs level
+ *    i bits into level i-1.
+ *  - Associativity: each line has a single R/W pair plus a nesting-level
+ *    field NL (figure 4b); multiple versions of the same line occupy
+ *    different ways of the same set. Closed commit retags NL=i lines to
+ *    i-1, merging duplicates; open commit retags to NL=0.
+ *
+ * Architectural data and the authoritative read/write sets live in the
+ * HTM engine; the cache's annotations model capacity pressure, overflow
+ * (virtualisation) events, and the replication cost of the associativity
+ * scheme.
+ */
+
+#ifndef TMSIM_MEM_CACHE_HH
+#define TMSIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mem/cache_geometry.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tmsim {
+
+/** Which of the paper's nesting-support schemes the cache implements. */
+enum class NestScheme
+{
+    MultiTracking,
+    Associativity,
+};
+
+/** Result of allocating a line: what, if anything, was evicted. */
+struct EvictInfo
+{
+    bool evicted = false;
+    Addr lineAddr = invalidAddr;
+    /** The victim carried read/write-set annotations: an overflow. */
+    bool transactional = false;
+};
+
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheGeometry& geom, NestScheme scheme,
+          int max_levels, StatsRegistry& stats);
+
+    const CacheGeometry& geometry() const { return geom; }
+
+    /** True if any copy/version of the line is present. */
+    bool contains(Addr line_addr) const;
+
+    /**
+     * Timed lookup: touches LRU and counts hit/miss statistics.
+     * @return true on hit.
+     */
+    bool lookup(Addr line_addr);
+
+    /**
+     * Allocate the line (after a miss was serviced). Never evicts other
+     * versions of the same line. @return eviction info for the victim.
+     */
+    EvictInfo fill(Addr line_addr);
+
+    /**
+     * Invalidate copies of the line that carry no transactional
+     * annotations (commit-broadcast snoop on other CPUs' caches).
+     */
+    void invalidateNonSpec(Addr line_addr);
+
+    /** Annotate the line as read at @p level (allocating if absent). */
+    void markRead(Addr line_addr, int level);
+
+    /** Annotate the line as written at @p level (allocating if absent). */
+    void markWrite(Addr line_addr, int level);
+
+    /** True if any version of the line carries any annotation. */
+    bool hasTxMeta(Addr line_addr) const;
+
+    /** True if the line is annotated read (written) at @p level. */
+    bool isRead(Addr line_addr, int level) const;
+    bool isWritten(Addr line_addr, int level) const;
+
+    /** Rollback at @p level: gang-clear that level's annotations. */
+    void clearLevel(int level);
+
+    /** Closed-nested commit: merge level @p level into @p level - 1. */
+    void mergeLevelDown(int level);
+
+    /** Open-nested commit: drop level @p level annotations, keep data. */
+    void commitOpenLevel(int level);
+
+    /** Drop every transactional annotation (whole-context reset). */
+    void clearAllTx();
+
+    /** Number of lines currently carrying annotations. */
+    std::uint64_t txLineCount() const;
+
+    /** Number of distinct versions of @p line_addr currently resident
+     *  (associativity scheme replication; always 0/1 for multi-track). */
+    int versionCount(Addr line_addr) const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr lineAddr = invalidAddr;
+        std::uint64_t lru = 0;
+        // MultiTracking: bit (level-1) set in each mask.
+        std::uint32_t readMask = 0;
+        std::uint32_t writeMask = 0;
+        // Associativity: nesting level of this version (0 = plain data).
+        int nl = 0;
+
+        bool isTx() const { return readMask != 0 || writeMask != 0; }
+    };
+
+    std::vector<Line>& setFor(Addr line_addr);
+    const std::vector<Line>& setFor(Addr line_addr) const;
+    Line* findLine(Addr line_addr);
+    const Line* findLine(Addr line_addr) const;
+    /** Associativity scheme: the version visible to @p level. */
+    Line* findVersionFor(Addr line_addr, int level);
+    Line* allocate(Addr line_addr, EvictInfo* evict);
+    void touch(Line& line) { line.lru = ++lruClock; }
+
+    std::string name;
+    CacheGeometry geom;
+    NestScheme scheme;
+    int maxLevels;
+    std::vector<std::vector<Line>> sets;
+    std::uint64_t lruClock = 0;
+
+    StatsRegistry::Counter& statHits;
+    StatsRegistry::Counter& statMisses;
+    StatsRegistry::Counter& statEvictions;
+    StatsRegistry::Counter& statTxOverflows;
+    StatsRegistry::Counter& statReplications;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_MEM_CACHE_HH

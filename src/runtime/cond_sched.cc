@@ -1,0 +1,185 @@
+#include "runtime/cond_sched.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tmsim {
+
+CondScheduler::CondScheduler(BackingStore& mem, int max_workers)
+    : maxWorkers(max_workers)
+{
+    mailboxBase = mem.allocate(
+        static_cast<Addr>(max_workers) * mailboxWords * wordBytes, 64);
+    stopFlag = mem.allocate(64, 64);
+    mem.write(stopFlag, 0);
+    for (int w = 0; w < max_workers; ++w) {
+        mem.write(seqAddr(w), 0);
+        mem.write(cmdAddr(w), 0);
+        mem.write(argAddr(w), 0);
+        mem.write(valAddr(w), 0);
+    }
+    workers.assign(static_cast<size_t>(max_workers), nullptr);
+    lastSeq.assign(static_cast<size_t>(max_workers), 0);
+}
+
+void
+CondScheduler::addWorker(int worker, TxThread* thread)
+{
+    workers[static_cast<size_t>(worker)] = thread;
+}
+
+void
+CondScheduler::stop(BackingStore& mem)
+{
+    mem.write(stopFlag, ~static_cast<Word>(0));
+}
+
+SimTask
+CondScheduler::workerDone(TxThread& t)
+{
+    co_await t.atomicOpen([&](TxThread& th) -> SimTask {
+        Word done = co_await th.ld(stopFlag);
+        co_await th.st(stopFlag, done + 1);
+    });
+}
+
+SimTask
+CondScheduler::schedulerBody(TxThread& t, int stop_count)
+{
+    lineMask = ~(t.cpu().htm().lineBytes() - 1);
+    co_await t.atomic([this, stop_count](TxThread& th) -> SimTask {
+        // The scheduler transaction never rolls back: its violation
+        // handler does the work and always continues (figure 3).
+        co_await th.onViolation(
+            [this](TxThread& h, const ViolationInfo&,
+                   const std::vector<Word>&) -> Task<VioAction> {
+                ++numViolations;
+                if (!scanning) {
+                    co_await processMailboxes(h);
+                    co_await scanWatches(h);
+                }
+                co_return VioAction::Continue;
+            });
+
+        // Subscribe to every worker mailbox.
+        for (int w = 0; w < maxWorkers; ++w)
+            co_await th.ld(seqAddr(w));
+
+        // Idle loop: violations are the fast path; the periodic poll is
+        // a robustness net (e.g. a mailbox write that raced the
+        // initial subscription).
+        for (;;) {
+            Word done = co_await th.cpu().imld(stopFlag);
+            if (done >= static_cast<Word>(stop_count))
+                break;
+            co_await processMailboxes(th);
+            co_await scanWatches(th);
+            co_await th.cpu().exec(16);
+        }
+    });
+}
+
+SimTask
+CondScheduler::processMailboxes(TxThread& t)
+{
+    scanning = true;
+    for (int w = 0; w < maxWorkers; ++w) {
+        // The regular load keeps the mailbox line in the scheduler's
+        // read-set so the next command violates us again.
+        Word seq = co_await t.ld(seqAddr(w));
+        if (seq == lastSeq[static_cast<size_t>(w)])
+            continue;
+        lastSeq[static_cast<size_t>(w)] = seq;
+        Word cmd = co_await t.ld(cmdAddr(w));
+        if (cmd == cmdWatch) {
+            Word addr = co_await t.ld(argAddr(w));
+            Word seen = co_await t.ld(valAddr(w));
+            watches.push_back(WatchEntry{w, addr, seen});
+        } else if (cmd == cmdCancel) {
+            watches.erase(std::remove_if(watches.begin(), watches.end(),
+                                         [w](const WatchEntry& e) {
+                                             return e.worker == w;
+                                         }),
+                          watches.end());
+        }
+    }
+    scanning = false;
+}
+
+SimTask
+CondScheduler::scanWatches(TxThread& t)
+{
+    scanning = true;
+    for (size_t i = 0; i < watches.size();) {
+        // Loading the watched address keeps (or puts back) its line in
+        // the scheduler's read-set: the watch subscription itself.
+        Word v = co_await t.ld(watches[i].addr);
+        if (v == watches[i].value) {
+            ++i;
+            continue;
+        }
+        const WatchEntry entry = watches[i];
+        watches.erase(watches.begin() + static_cast<std::ptrdiff_t>(i));
+        ++numWakeups;
+        if (workers[static_cast<size_t>(entry.worker)])
+            workers[static_cast<size_t>(entry.worker)]->wake();
+
+        // Early release (paper 4.7): once nobody watches the line any
+        // more, drop it from the everlasting read-set so unrelated
+        // updates stop violating the scheduler.
+        const Addr line = entry.addr & lineMask;
+        const bool others = std::any_of(
+            watches.begin(), watches.end(), [&](const WatchEntry& e) {
+                return (e.addr & lineMask) == line;
+            });
+        if (!others)
+            co_await t.cpu().release(line);
+    }
+    scanning = false;
+}
+
+WordTask
+CondScheduler::loadOrRetry(TxThread& t, int worker, Addr addr,
+                           std::function<bool(Word)> ok)
+{
+    Word v = co_await t.ld(addr);
+    if (ok(v))
+        co_return v;
+
+    // Figure 3 consumer path: register the cancel violation handler,
+    // publish the watch, then abort-and-yield.
+    co_await t.onViolation(
+        [this, worker](TxThread& th, const ViolationInfo&,
+                       const std::vector<Word>&) -> Task<VioAction> {
+            co_await cancel(th, worker);
+            co_return VioAction::Proceed;
+        });
+    co_await watch(t, worker, addr, v);
+    co_await t.retryYield(); // unwinds; atomic() parks until wake()
+    co_return 0;             // unreachable
+}
+
+SimTask
+CondScheduler::watch(TxThread& t, int worker, Addr addr, Word seen_value)
+{
+    co_await t.atomicOpen([&](TxThread& th) -> SimTask {
+        Word seq = co_await th.cpu().imld(seqAddr(worker));
+        co_await th.st(cmdAddr(worker), cmdWatch);
+        co_await th.st(argAddr(worker), addr);
+        co_await th.st(valAddr(worker), seen_value);
+        co_await th.st(seqAddr(worker), seq + 1);
+    });
+}
+
+SimTask
+CondScheduler::cancel(TxThread& t, int worker)
+{
+    co_await t.atomicOpen([&](TxThread& th) -> SimTask {
+        Word seq = co_await th.cpu().imld(seqAddr(worker));
+        co_await th.st(cmdAddr(worker), cmdCancel);
+        co_await th.st(seqAddr(worker), seq + 1);
+    });
+}
+
+} // namespace tmsim

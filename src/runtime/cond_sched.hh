@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Conditional synchronisation via open nesting and violation handlers —
+ * the paper's figure 3, adapted to a 1:1 thread-to-CPU model.
+ *
+ * A dedicated scheduler thread runs one everlasting transaction whose
+ * read-set contains every worker mailbox line plus every watched
+ * address. Workers communicate watch/cancel commands by writing their
+ * mailbox from an open-nested transaction, which violates the
+ * scheduler; the scheduler's violation handler (which always CONTINUES
+ * the scheduler transaction) processes commands, pulls watched
+ * addresses into the scheduler's read-set, and wakes waiting workers
+ * when a watched line is modified by a committing producer. The
+ * early-release instruction drops a watched line from the read-set
+ * once its waiters have been woken (paper 4.7: "we use it in low-level
+ * code for the conditional synchronization scheduler").
+ */
+
+#ifndef TMSIM_RUNTIME_COND_SCHED_HH
+#define TMSIM_RUNTIME_COND_SCHED_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/tx_thread.hh"
+
+namespace tmsim {
+
+class CondScheduler
+{
+  public:
+    /** Mailbox command codes. */
+    static constexpr Word cmdWatch = 1;
+    static constexpr Word cmdCancel = 2;
+
+    /**
+     * @param mem simulated memory for mailboxes and flags
+     * @param max_workers number of worker slots (mailboxes)
+     */
+    CondScheduler(BackingStore& mem, int max_workers);
+
+    /** Register the worker thread occupying slot @p worker. */
+    void addWorker(int worker, TxThread* thread);
+
+    /**
+     * The scheduler thread body; spawn on a dedicated CPU. Exits once
+     * workerDone() has been called @p stop_count times (or stop()).
+     */
+    SimTask schedulerBody(TxThread& t, int stop_count);
+
+    /** Worker-side: signal completion (counts toward stop_count). */
+    SimTask workerDone(TxThread& t);
+
+    /** Ask the scheduler to exit (host-side; takes effect promptly). */
+    void stop(BackingStore& mem);
+
+    /**
+     * Worker-side: load @p addr inside the current transaction; if
+     * @p ok rejects the value, watch the address, abort-and-yield, and
+     * re-execute the transaction body once the value changes.
+     * Implements Atomos watch/retry.
+     */
+    WordTask loadOrRetry(TxThread& t, int worker, Addr addr,
+                         std::function<bool(Word)> ok);
+
+    /** Worker-side: publish a WATCH command (open-nested). */
+    SimTask watch(TxThread& t, int worker, Addr addr, Word seen_value);
+
+    /** Worker-side: publish a CANCEL command (open-nested). */
+    SimTask cancel(TxThread& t, int worker);
+
+    /** Wake-ups issued by the scheduler (tests/stats). */
+    std::uint64_t wakeups() const { return numWakeups; }
+
+    /** Violations the scheduler handled (tests/stats). */
+    std::uint64_t schedulerViolations() const { return numViolations; }
+
+  private:
+    static constexpr size_t mailboxWords = 8; // one cache line
+
+    Addr mailboxAddr(int worker) const
+    {
+        return mailboxBase +
+               static_cast<Addr>(worker) * mailboxWords * wordBytes;
+    }
+    Addr seqAddr(int w) const { return mailboxAddr(w); }
+    Addr cmdAddr(int w) const { return mailboxAddr(w) + wordBytes; }
+    Addr argAddr(int w) const { return mailboxAddr(w) + 2 * wordBytes; }
+    Addr valAddr(int w) const { return mailboxAddr(w) + 3 * wordBytes; }
+
+    /** Pick up new mailbox commands (violation handler or poll pass). */
+    SimTask processMailboxes(TxThread& t);
+
+    /** Re-read every watched address, waking workers whose value
+     *  changed since they watched. */
+    SimTask scanWatches(TxThread& t);
+
+    struct WatchEntry
+    {
+        int worker;
+        Addr addr;
+        Word value;
+    };
+
+    int maxWorkers;
+    Addr mailboxBase = 0;
+    Addr stopFlag = 0;
+
+    /**
+     * Re-entrancy guard: a violation can be delivered while the
+     * scheduler is suspended inside processMailboxes/scanWatches; the
+     * handler must not mutate the watch list under the interrupted
+     * scan (the pending-violation redelivery and the idle-loop poll
+     * guarantee the commands are picked up afterwards).
+     */
+    bool scanning = false;
+
+    std::vector<TxThread*> workers;
+    std::vector<Word> lastSeq;
+    std::vector<WatchEntry> watches;
+
+    std::uint64_t numWakeups = 0;
+    std::uint64_t numViolations = 0;
+    Addr lineMask = ~static_cast<Addr>(31);
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_RUNTIME_COND_SCHED_HH

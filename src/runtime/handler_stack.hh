@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A handler stack (commit, violation or abort) following the software
+ * convention of paper section 4.2-4.4: entries of [handler PC, argc,
+ * args...] pushed into thread-private memory, with the current top held
+ * in a TCB-adjacent pointer field.
+ *
+ * The host-side mirror keeps the callable objects; the word offsets let
+ * the runtime issue imld/imst traffic to the right simulated addresses.
+ */
+
+#ifndef TMSIM_RUNTIME_HANDLER_STACK_HH
+#define TMSIM_RUNTIME_HANDLER_STACK_HH
+
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tmsim {
+
+template <typename Fn>
+class HandlerStack
+{
+  public:
+    HandlerStack(Addr base, Addr top_field, size_t cap_words)
+        : base(base), topField(top_field), capWords(cap_words)
+    {
+    }
+
+    struct Entry
+    {
+        Fn fn;
+        std::vector<Word> args;
+        /** Word offset of this entry within the simulated stack. */
+        size_t wordOff;
+    };
+
+    /** Current top, in words (the value of the xc/xv/xahptr_top). */
+    size_t topWords() const { return topW; }
+
+    /** Simulated address of the top pointer field. */
+    Addr topFieldAddr() const { return topField; }
+
+    /** Simulated address of word @p off within the stack. */
+    Addr wordAddr(size_t off) const { return base + off * wordBytes; }
+
+    bool empty() const { return entries.empty(); }
+    size_t size() const { return entries.size(); }
+
+    /** Push a handler; returns the new entry (for traffic addresses). */
+    const Entry&
+    push(Fn fn, std::vector<Word> args)
+    {
+        size_t need = 2 + args.size();
+        if (topW + need > capWords)
+            fatal("handler stack overflow (%zu words)", capWords);
+        entries.push_back(Entry{std::move(fn), std::move(args), topW});
+        topW += need;
+        return entries.back();
+    }
+
+    /** Discard every entry at or above @p top_words (rollback/commit). */
+    void
+    truncate(size_t top_words)
+    {
+        while (!entries.empty() && entries.back().wordOff >= top_words)
+            entries.pop_back();
+        topW = top_words;
+    }
+
+    /** Copy of the entries registered at or above @p top_words, in
+     *  registration (push) order. */
+    std::vector<Entry>
+    entriesAbove(size_t top_words) const
+    {
+        std::vector<Entry> out;
+        for (const Entry& e : entries)
+            if (e.wordOff >= top_words)
+                out.push_back(e);
+        return out;
+    }
+
+  private:
+    Addr base;
+    Addr topField;
+    size_t capWords;
+    size_t topW = 0;
+    std::vector<Entry> entries;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_RUNTIME_HANDLER_STACK_HH

@@ -1,0 +1,20 @@
+#include "runtime/thread_area.hh"
+
+namespace tmsim {
+
+ThreadArea
+ThreadArea::allocate(BackingStore& mem, size_t max_frames,
+                     size_t stack_words)
+{
+    ThreadArea area;
+    area.maxFrames = max_frames;
+    area.stackWords = stack_words;
+    area.regBase = mem.allocate(8 * wordBytes, 64);
+    area.tcbBase = mem.allocate(max_frames * frameWords * wordBytes, 64);
+    area.chBase = mem.allocate(stack_words * wordBytes, 64);
+    area.vhBase = mem.allocate(stack_words * wordBytes, 64);
+    area.ahBase = mem.allocate(stack_words * wordBytes, 64);
+    return area;
+}
+
+} // namespace tmsim

@@ -1,0 +1,84 @@
+#include "runtime/tx_alloc.hh"
+
+#include "sim/logging.hh"
+
+namespace tmsim {
+
+TxHeap
+TxHeap::create(BackingStore& mem, Addr heap_bytes)
+{
+    TxHeap heap;
+    heap.brkAddr = mem.allocate(64, 64);
+    heap.liveAddr = heap.brkAddr + wordBytes;
+    heap.heapBase = mem.allocate(heap_bytes, 64);
+    heap.heapEnd = heap.heapBase + heap_bytes;
+    mem.write(heap.brkAddr, heap.heapBase);
+    mem.write(heap.liveAddr, 0);
+    return heap;
+}
+
+Task<Addr>
+TxHeap::alloc(TxThread& t, Addr bytes)
+{
+    const Addr rounded = (bytes + 63) & ~static_cast<Addr>(63);
+    Addr result = 0;
+
+    // The brk update runs open-nested so the enclosing user transaction
+    // neither serialises on the shared break pointer nor holds it in
+    // its write-set until commit.
+    co_await t.atomicOpen([&](TxThread& th) -> SimTask {
+        Word brk = co_await th.ld(brkAddr);
+        if (brk + rounded > heapEnd)
+            fatal("TxHeap exhausted");
+        result = brk;
+        co_await th.st(brkAddr, brk + rounded);
+        Word live = co_await th.ld(liveAddr);
+        co_await th.st(liveAddr, live + rounded);
+    });
+
+    // If the user transaction that requested the block rolls back, the
+    // allocation must be compensated (paper: "a violation handler is
+    // registered to free the memory if the transaction aborts").
+    if (t.cpu().htm().inTx()) {
+        co_await t.onViolation(
+            [this, rounded](TxThread& th, const ViolationInfo&,
+                            const std::vector<Word>&) -> Task<VioAction> {
+                co_await releaseBlock(th, rounded);
+                co_return VioAction::Proceed;
+            });
+        co_await t.onAbort(
+            [this, rounded](TxThread& th,
+                            const std::vector<Word>&) -> SimTask {
+                co_await releaseBlock(th, rounded);
+            });
+    }
+    co_return result;
+}
+
+SimTask
+TxHeap::releaseBlock(TxThread& t, Addr bytes)
+{
+    ++numCompensations;
+    co_await t.atomicOpen([&](TxThread& th) -> SimTask {
+        Word live = co_await th.ld(liveAddr);
+        co_await th.st(liveAddr, live - bytes);
+    });
+}
+
+SimTask
+TxHeap::free(TxThread& t, Addr /* base */, Addr bytes)
+{
+    const Addr rounded = (bytes + 63) & ~static_cast<Addr>(63);
+    co_await t.atomicOpen([&](TxThread& th) -> SimTask {
+        Word live = co_await th.ld(liveAddr);
+        co_await th.st(liveAddr, live - rounded);
+    });
+}
+
+Word
+TxHeap::liveBytes(const BackingStore& mem) const
+{
+    return mem.read(liveAddr);
+}
+
+} // namespace tmsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Transactional memory allocator (paper section 5): allocation executes
+ * as an open-nested transaction around the shared break pointer, and a
+ * violation/abort handler compensates (releases the block) if the
+ * enclosing user transaction rolls back.
+ */
+
+#ifndef TMSIM_RUNTIME_TX_ALLOC_HH
+#define TMSIM_RUNTIME_TX_ALLOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/tx_thread.hh"
+
+namespace tmsim {
+
+class TxHeap
+{
+  public:
+    /**
+     * Carve a shared heap out of simulated memory. The break pointer
+     * and live-byte counter live in simulated shared memory and are
+     * maintained transactionally.
+     */
+    static TxHeap create(BackingStore& mem, Addr heap_bytes);
+
+    /**
+     * Allocate @p bytes within (or outside) a transaction. Inside a
+     * transaction, registers compensation that returns the block if
+     * the transaction aborts or is violated.
+     */
+    Task<Addr> alloc(TxThread& t, Addr bytes);
+
+    /** Explicitly free a block (transaction-safe). */
+    SimTask free(TxThread& t, Addr base, Addr bytes);
+
+    /** Live allocated bytes according to the simulated counter. */
+    Word liveBytes(const BackingStore& mem) const;
+
+    /** Number of compensations executed (tests). */
+    std::uint64_t compensations() const { return numCompensations; }
+
+  private:
+    Addr brkAddr = 0;
+    Addr liveAddr = 0;
+    Addr heapBase = 0;
+    Addr heapEnd = 0;
+    std::uint64_t numCompensations = 0;
+
+    SimTask releaseBlock(TxThread& t, Addr bytes);
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_RUNTIME_TX_ALLOC_HH

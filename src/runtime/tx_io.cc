@@ -1,0 +1,154 @@
+#include "runtime/tx_io.hh"
+
+#include "sim/logging.hh"
+
+namespace tmsim {
+
+TxLogDevice
+TxLogDevice::create(BackingStore& mem, size_t capacity_words)
+{
+    TxLogDevice dev;
+    dev.tailPtr = mem.allocate(64, 64);
+    dev.base = mem.allocate(capacity_words * wordBytes, 64);
+    dev.capacity = capacity_words;
+    mem.write(dev.tailPtr, 0);
+    return dev;
+}
+
+std::vector<Word>
+TxLogDevice::contents(const BackingStore& mem) const
+{
+    Word tail = mem.read(tailPtr);
+    std::vector<Word> out;
+    out.reserve(tail);
+    for (Word i = 0; i < tail; ++i)
+        out.push_back(mem.read(base + i * wordBytes));
+    return out;
+}
+
+Addr
+TxIo::stagingFor(TxThread& t, size_t words)
+{
+    Staging& s = staging[t.cpu().id()];
+    if (s.base == 0) {
+        s.words = 4096;
+        s.base = t.memory().allocate(s.words * wordBytes, 64);
+        s.cursor = 0;
+    }
+    if (s.cursor + words > s.words)
+        s.cursor = 0; // ring reuse; records are consumed at commit
+    Addr out = s.base + s.cursor * wordBytes;
+    s.cursor += words;
+    return out;
+}
+
+SimTask
+TxIo::txWrite(TxThread& t, std::vector<Word> record)
+{
+    const size_t n = record.size();
+    if (n == 0)
+        co_return;
+
+    // Stage the record in thread-private memory (immediate stores: no
+    // read/write-set pressure on the user transaction).
+    const Addr buf = stagingFor(t, n);
+    for (size_t i = 0; i < n; ++i)
+        co_await t.cpu().imst(buf + i * wordBytes, record[i]);
+
+    if (!t.cpu().htm().inTx()) {
+        // Outside a transaction the "system call" happens immediately.
+        co_await appendOpen(t, buf, n);
+        co_return;
+    }
+
+    // The real append runs as a commit handler once the transaction is
+    // validated (paper: "system calls with permanent side-effects
+    // execute as commit handlers").
+    co_await t.onCommit(
+        [this, buf, n](TxThread& th, const std::vector<Word>&) -> SimTask {
+            co_await appendOpen(th, buf, n);
+        });
+}
+
+SimTask
+TxIo::appendOpen(TxThread& t, Addr buf, size_t n)
+{
+    co_await t.atomicOpen([&](TxThread& th) -> SimTask {
+        Word tail = co_await th.ld(log.tailAddr());
+        for (size_t i = 0; i < n; ++i) {
+            Word w = co_await th.cpu().imld(buf + i * wordBytes);
+            co_await th.st(log.dataBase() + (tail + i) * wordBytes, w);
+        }
+        co_await th.st(log.tailAddr(), tail + n);
+    });
+}
+
+SimTask
+TxIo::directWrite(TxThread& t, const std::vector<Word>& record)
+{
+    // Baseline: append from inside the transaction itself. The tail
+    // pointer lands in the transaction's read- and write-set, so
+    // concurrent transactions doing I/O violate each other unless the
+    // caller serialised the whole transaction.
+    Word tail = co_await t.ld(log.tailAddr());
+    for (size_t i = 0; i < record.size(); ++i)
+        co_await t.st(log.dataBase() + (tail + i) * wordBytes, record[i]);
+    co_await t.st(log.tailAddr(), tail + record.size());
+}
+
+TxInFile
+TxInFile::create(BackingStore& mem, const std::vector<Word>& contents)
+{
+    TxInFile f;
+    f.posPtr = mem.allocate(64, 64);
+    f.base = mem.allocate(std::max<size_t>(contents.size(), 1) * wordBytes,
+                          64);
+    f.sizeWords = contents.size();
+    mem.write(f.posPtr, 0);
+    for (size_t i = 0; i < contents.size(); ++i)
+        mem.write(f.base + i * wordBytes, contents[i]);
+    return f;
+}
+
+WordTask
+TxInFile::txRead(TxThread& t)
+{
+    Word value = 0;
+    Word savedPos = 0;
+
+    // The "read syscall" runs open-nested so the shared file position
+    // does not create dependencies through the user transaction.
+    co_await t.atomicOpen([&](TxThread& th) -> SimTask {
+        savedPos = co_await th.ld(posPtr);
+        if (savedPos >= sizeWords)
+            fatal("TxInFile read past end");
+        value = co_await th.ld(base + savedPos * wordBytes);
+        co_await th.st(posPtr, savedPos + 1);
+    });
+
+    // Compensation: if the user transaction rolls back, the consumed
+    // input must be returned (paper: "a violation handler that
+    // restores the file position"). Handlers run newest-first, so
+    // nested reads unwind to the oldest saved position.
+    if (t.cpu().htm().inTx()) {
+        auto restore = [this, savedPos](TxThread& th) -> SimTask {
+            ++numCompensations;
+            co_await th.atomicOpen([&](TxThread& inner) -> SimTask {
+                co_await inner.st(posPtr, savedPos);
+            });
+        };
+        co_await t.onViolation(
+            [restore](TxThread& th, const ViolationInfo&,
+                      const std::vector<Word>&) -> Task<VioAction> {
+                co_await restore(th);
+                co_return VioAction::Proceed;
+            });
+        co_await t.onAbort(
+            [restore](TxThread& th, const std::vector<Word>&) -> SimTask {
+                co_await restore(th);
+            });
+    }
+    co_return value;
+}
+
+} // namespace tmsim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Transactional I/O (paper sections 5 and 7.2).
+ *
+ * Output: txWrite buffers the record in a thread-private staging area
+ * now and registers a commit handler that performs the actual "system
+ * call" — an open-nested append to the shared log device — only once
+ * the transaction is known to commit. A violated transaction discards
+ * the buffer for free.
+ *
+ * Input: txRead performs the system call immediately inside an
+ * open-nested transaction and registers violation/abort handlers that
+ * restore the file position if the user transaction rolls back.
+ */
+
+#ifndef TMSIM_RUNTIME_TX_IO_HH
+#define TMSIM_RUNTIME_TX_IO_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/tx_thread.hh"
+
+namespace tmsim {
+
+/** A shared append-only log "device" living in simulated memory. */
+class TxLogDevice
+{
+  public:
+    static TxLogDevice create(BackingStore& mem, size_t capacity_words);
+
+    Addr tailAddr() const { return tailPtr; }
+    Addr dataBase() const { return base; }
+
+    /** Committed length, in words. */
+    Word length(const BackingStore& mem) const { return mem.read(tailPtr); }
+
+    /** Committed contents (host-side inspection for tests). */
+    std::vector<Word> contents(const BackingStore& mem) const;
+
+  private:
+    Addr tailPtr = 0;
+    Addr base = 0;
+    size_t capacity = 0;
+};
+
+/** Transactional writer over a TxLogDevice. */
+class TxIo
+{
+  public:
+    explicit TxIo(TxLogDevice& log) : log(log) {}
+
+    /**
+     * Transactional write: stage privately, append at commit via a
+     * commit handler. Usable inside or outside a transaction (outside,
+     * the append happens immediately).
+     */
+    SimTask txWrite(TxThread& t, std::vector<Word> record);
+
+    /**
+     * Non-transactional baseline write: append to the device
+     * immediately from inside the transaction (only safe when the
+     * whole transaction is serialised; see
+     * TxThread::serializedAtomic).
+     */
+    SimTask directWrite(TxThread& t, const std::vector<Word>& record);
+
+  private:
+    SimTask appendOpen(TxThread& t, Addr buf, size_t n);
+    Addr stagingFor(TxThread& t, size_t words);
+
+    TxLogDevice& log;
+
+    struct Staging
+    {
+        Addr base = 0;
+        size_t words = 0;
+        size_t cursor = 0;
+    };
+    std::unordered_map<CpuId, Staging> staging;
+};
+
+/** A read-only sequential word "file" with a shared position. */
+class TxInFile
+{
+  public:
+    static TxInFile create(BackingStore& mem,
+                           const std::vector<Word>& contents);
+
+    /**
+     * Transactional read of the next word: advances the position in an
+     * open-nested transaction, registering compensation that restores
+     * it if the enclosing transaction rolls back.
+     */
+    WordTask txRead(TxThread& t);
+
+    /** Current position, in words (tests). */
+    Word position(const BackingStore& mem) const { return mem.read(posPtr); }
+
+    std::uint64_t compensations() const { return numCompensations; }
+
+  private:
+    Addr posPtr = 0;
+    Addr base = 0;
+    size_t sizeWords = 0;
+    std::uint64_t numCompensations = 0;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_RUNTIME_TX_IO_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * TxThread: the software conventions of paper sections 4-5 layered on
+ * the raw ISA — TCB stack management, commit/violation/abort handler
+ * stacks, and the atomic()/atomicOpen() retry drivers that language
+ * implementations build on.
+ *
+ * Calibrated fast paths (verified by tests, reported in paper sec. 7):
+ *   - transaction start (TCB allocation): 6 instructions
+ *   - commit without handlers:           10 instructions
+ *   - rollback without handlers:          6 instructions
+ *   - handler registration (no args):     9 instructions
+ */
+
+#ifndef TMSIM_RUNTIME_TX_THREAD_HH
+#define TMSIM_RUNTIME_TX_THREAD_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/cpu.hh"
+#include "runtime/handler_stack.hh"
+#include "runtime/thread_area.hh"
+#include "sim/rng.hh"
+#include "sim/task.hh"
+
+namespace tmsim {
+
+class TxThread;
+
+/** A transaction body: re-invoked from scratch on every retry. */
+using TxBody = std::function<SimTask(TxThread&)>;
+
+/** Information handed to violation handlers (xvaddr / xvcurrent). */
+struct ViolationInfo
+{
+    Addr vaddr;
+    std::uint32_t mask;
+};
+
+/** What a violation handler wants done after it ran. */
+enum class VioAction
+{
+    /** Fall through to the default: roll back and retry. */
+    Proceed,
+    /** Resume the interrupted transaction (xvret to xvpc). */
+    Continue,
+};
+
+using CommitHandlerFn =
+    std::function<SimTask(TxThread&, const std::vector<Word>&)>;
+using AbortHandlerFn = CommitHandlerFn;
+using ViolationHandlerFn = std::function<Task<VioAction>(
+    TxThread&, const ViolationInfo&, const std::vector<Word>&)>;
+
+/** Why atomic() returned. */
+enum class TxResult
+{
+    Committed,
+    Aborted,
+    RetriesExhausted,
+};
+
+struct TxOutcome
+{
+    TxResult result = TxResult::Committed;
+    Word abortCode = 0;
+    int retries = 0;
+
+    bool committed() const { return result == TxResult::Committed; }
+};
+
+struct TxOpts
+{
+    /** 0 = retry until committed or aborted. */
+    int maxRetries = 0;
+    /** Exponential backoff between retries (eager configs). */
+    bool autoBackoff = true;
+};
+
+/**
+ * One logical software thread bound 1:1 to a Cpu. Installs the runtime
+ * violation/abort protocols into the Cpu at construction.
+ */
+class TxThread
+{
+  public:
+    /** Abort code used by retryYield(): the owning atomic() parks the
+     *  thread until wake() instead of returning Aborted. */
+    static constexpr Word retryYieldCode = 0x52455452; // 'RETR'
+
+    explicit TxThread(Cpu& cpu);
+
+    TxThread(const TxThread&) = delete;
+    TxThread& operator=(const TxThread&) = delete;
+
+    Cpu& cpu() { return cpuRef; }
+    EventQueue& eventQueue() { return cpuRef.eventQueue(); }
+    BackingStore& memory() { return cpuRef.memory(); }
+    Rng& rng() { return threadRng; }
+
+    // --- convenience passthroughs ---
+    WordTask ld(Addr a) { return cpuRef.load(a); }
+    SimTask st(Addr a, Word v) { return cpuRef.store(a, v); }
+    SimTask work(std::uint64_t n) { return cpuRef.exec(n); }
+
+    // --- transactions ---
+
+    /** Run @p body as a closed-nested transaction, retrying on
+     *  violation until it commits or aborts. */
+    Task<TxOutcome> atomic(TxBody body, TxOpts opts = TxOpts{});
+
+    /** Run @p body as an open-nested transaction. */
+    Task<TxOutcome> atomicOpen(TxBody body, TxOpts opts = TxOpts{});
+
+    /**
+     * tryatomic/orElse: run @p body; if it aborts voluntarily, run
+     * @p alt instead (violations still retry each path normally).
+     */
+    Task<TxOutcome> atomicOrElse(TxBody body, TxBody alt,
+                                 TxOpts opts = TxOpts{});
+
+    /**
+     * Baseline for systems without transactional I/O support: the
+     * whole transaction runs while holding the global serialization
+     * resource (conventional HTMs "revert to sequential execution").
+     */
+    Task<TxOutcome> serializedAtomic(TxBody body, TxOpts opts = TxOpts{});
+
+    // --- handler registration (must be inside a transaction) ---
+
+    SimTask onCommit(CommitHandlerFn fn, std::vector<Word> args = {});
+    SimTask onViolation(ViolationHandlerFn fn, std::vector<Word> args = {});
+    SimTask onAbort(AbortHandlerFn fn, std::vector<Word> args = {});
+
+    // --- conditional synchronisation support ---
+
+    /**
+     * Abort the innermost transaction and yield until wake(); the
+     * owning atomic() then re-executes the body (Atomos retry).
+     */
+    SimTask retryYield();
+
+    /** Wake a thread parked in retryYield(). Safe to call early. */
+    void wake() { retryWaker.wake(1); }
+
+    /** Nesting depth of live runtime frames (tests). */
+    size_t frameCount() const { return frames.size(); }
+
+  private:
+    struct Frame
+    {
+        int hwLevel;
+        TxKind kind;
+        size_t chSave;
+        size_t vhSave;
+        size_t ahSave;
+    };
+
+    Task<TxOutcome> runTx(TxKind kind, TxBody body, TxOpts opts);
+    SimTask beginTx(TxKind kind);
+    SimTask commitSequence();
+    SimTask backoff(int retries);
+
+    SimTask violationProtocolImpl(Cpu& c);
+    SimTask abortProtocolImpl(Cpu& c, Word code);
+
+    /** Charge the imld/alu traffic of dispatching one handler entry. */
+    template <typename Fn>
+    SimTask chargeDispatch(const HandlerStack<Fn>& st,
+                           const typename HandlerStack<Fn>::Entry& e);
+
+    Cpu& cpuRef;
+    ThreadArea area;
+    HandlerStack<CommitHandlerFn> ch;
+    HandlerStack<ViolationHandlerFn> vh;
+    HandlerStack<AbortHandlerFn> ah;
+    std::vector<Frame> frames;
+    Waker retryWaker;
+    Rng threadRng;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_RUNTIME_TX_THREAD_HH

@@ -1,0 +1,45 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tmsim {
+
+void
+EventQueue::schedule(Cycles delay, Callback cb)
+{
+    scheduleAt(_curTick + delay, std::move(cb));
+}
+
+void
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    if (when < _curTick)
+        panic("event scheduled in the past (%llu < %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_curTick));
+    events.push(Event{when, nextSeq++, std::move(cb)});
+}
+
+Tick
+EventQueue::run(Tick maxTick)
+{
+    while (!events.empty()) {
+        const Event& top = events.top();
+        if (top.when > maxTick) {
+            _curTick = maxTick;
+            return _curTick;
+        }
+        _curTick = top.when;
+        // Move the callback out before popping so the callback may
+        // schedule further events without invalidating 'top'.
+        Callback cb = std::move(const_cast<Event&>(top).cb);
+        events.pop();
+        ++numExecuted;
+        cb();
+    }
+    return _curTick;
+}
+
+} // namespace tmsim

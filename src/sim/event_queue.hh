@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation queue.
+ *
+ * All simulated concurrency in tmsim is driven by one EventQueue per
+ * Machine. Events scheduled for the same tick fire in FIFO order of
+ * scheduling, which makes every run bit-reproducible for a given seed.
+ */
+
+#ifndef TMSIM_SIM_EVENT_QUEUE_HH
+#define TMSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tmsim {
+
+/**
+ * A time-ordered queue of callbacks. The queue owns the notion of "now"
+ * (curTick) for the whole simulated machine.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /** Schedule @p cb to run @p delay cycles from now. */
+    void schedule(Cycles delay, Callback cb);
+
+    /** Schedule @p cb to run at absolute tick @p when (>= curTick). */
+    void scheduleAt(Tick when, Callback cb);
+
+    /**
+     * Run events until the queue drains or @p maxTick is reached.
+     * @return the tick at which the run stopped.
+     */
+    Tick run(Tick maxTick = ~static_cast<Tick>(0));
+
+    /** True if no events are pending. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    size_t pending() const { return events.size(); }
+
+    /** Total events executed so far (for stats / determinism checks). */
+    std::uint64_t executed() const { return numExecuted; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Tick _curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * gem5-style diagnostics: panic() for simulator bugs, fatal() for user
+ * errors, warn()/inform() for status messages.
+ */
+
+#ifndef TMSIM_SIM_LOGGING_HH
+#define TMSIM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace tmsim {
+
+/**
+ * Abort the process with a message. Call when something happened that
+ * should never happen regardless of user input: a simulator bug.
+ */
+[[noreturn]] void panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit with an error message. Call when the simulation cannot continue
+ * because of a user error (bad configuration, invalid arguments).
+ */
+[[noreturn]] void fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about imperfectly modelled behaviour. */
+void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Suppress warn()/inform() output (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** Printf-style formatting into a std::string. */
+std::string strfmt(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace tmsim
+
+#endif // TMSIM_SIM_LOGGING_HH

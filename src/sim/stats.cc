@@ -1,0 +1,66 @@
+#include "sim/stats.hh"
+
+namespace tmsim {
+
+StatsRegistry::Counter&
+StatsRegistry::counter(const std::string& name)
+{
+    return counters[name];
+}
+
+std::uint64_t
+StatsRegistry::value(const std::string& name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second.value();
+}
+
+std::uint64_t
+StatsRegistry::sum(const std::string& pattern) const
+{
+    auto star = pattern.find('*');
+    if (star == std::string::npos)
+        return value(pattern);
+
+    const std::string prefix = pattern.substr(0, star);
+    const std::string suffix = pattern.substr(star + 1);
+    std::uint64_t total = 0;
+    for (const auto& [name, ctr] : counters) {
+        if (name.size() < prefix.size() + suffix.size())
+            continue;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        if (name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+            continue;
+        }
+        total += ctr.value();
+    }
+    return total;
+}
+
+void
+StatsRegistry::resetAll()
+{
+    for (auto& [name, ctr] : counters)
+        ctr.reset();
+}
+
+void
+StatsRegistry::dump(std::ostream& os) const
+{
+    for (const auto& [name, ctr] : counters)
+        os << name << " " << ctr.value() << "\n";
+}
+
+std::vector<std::string>
+StatsRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(counters.size());
+    for (const auto& [name, ctr] : counters)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace tmsim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Lightweight statistics registry in the spirit of gem5's stats package.
+ */
+
+#ifndef TMSIM_SIM_STATS_HH
+#define TMSIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tmsim {
+
+/**
+ * A registry of named scalar statistics. Components register counters
+ * at construction; the Machine dumps the registry after a run.
+ */
+class StatsRegistry
+{
+  public:
+    /** A named 64-bit event counter. */
+    class Counter
+    {
+      public:
+        Counter() = default;
+        void operator++() { ++val; }
+        void operator++(int) { ++val; }
+        void operator+=(std::uint64_t n) { val += n; }
+        std::uint64_t value() const { return val; }
+        void reset() { val = 0; }
+
+      private:
+        std::uint64_t val = 0;
+    };
+
+    /**
+     * Register (or look up) a counter under a hierarchical dotted name,
+     * e.g. "cpu3.htm.violations". The returned reference stays valid
+     * for the registry's lifetime.
+     */
+    Counter& counter(const std::string& name);
+
+    /** Read a counter's current value (0 if never registered). */
+    std::uint64_t value(const std::string& name) const;
+
+    /** Sum the values of all counters whose name matches "prefix*suffix".
+     *  @p pattern contains at most one '*'. */
+    std::uint64_t sum(const std::string& pattern) const;
+
+    /** Reset every counter to zero. */
+    void resetAll();
+
+    /** Write "name value" lines, sorted by name. */
+    void dump(std::ostream& os) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    std::map<std::string, Counter> counters;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_SIM_STATS_HH

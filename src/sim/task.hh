@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Coroutine task types for simulated threads.
+ *
+ * All simulated software (workload bodies, runtime conventions, handlers)
+ * is written as C++20 coroutines returning Task<T>. A co_await on a
+ * simulator awaitable (Delay, WaitOn, memory operations) suspends the
+ * whole logical thread; the EventQueue resumes it at the right tick.
+ *
+ * Exceptions propagate through co_await chains exactly like ordinary
+ * call stacks, which is how transactional rollback unwinds a transaction
+ * body back to its atomic() frame.
+ */
+
+#ifndef TMSIM_SIM_TASK_HH
+#define TMSIM_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tmsim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct FinalAwaiter
+{
+    bool await_ready() const noexcept { return false; }
+
+    template <typename Promise>
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<Promise> h) noexcept
+    {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+    }
+
+    void await_resume() const noexcept {}
+};
+
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation = nullptr;
+    std::exception_ptr exception = nullptr;
+    bool completed = false;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void
+    unhandled_exception()
+    {
+        exception = std::current_exception();
+        completed = true;
+    }
+};
+
+template <typename T>
+struct Promise : PromiseBase
+{
+    std::optional<T> value;
+
+    Task<T> get_return_object();
+
+    void
+    return_value(T v)
+    {
+        value = std::move(v);
+        completed = true;
+    }
+};
+
+template <>
+struct Promise<void> : PromiseBase
+{
+    Task<void> get_return_object();
+
+    void return_void() { completed = true; }
+};
+
+} // namespace detail
+
+/**
+ * An eagerly-ownable, lazily-started coroutine task.
+ *
+ * The Task object owns the coroutine frame. Awaiting it starts the
+ * child coroutine and resumes the awaiter when the child completes
+ * (symmetric transfer). Top-level tasks are started with start() and
+ * polled with done().
+ */
+template <typename T>
+class Task
+{
+  public:
+    using promise_type = detail::Promise<T>;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : handle(h) {}
+
+    Task(Task&& other) noexcept : handle(std::exchange(other.handle, {})) {}
+
+    Task&
+    operator=(Task&& other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle = std::exchange(other.handle, {});
+        }
+        return *this;
+    }
+
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+
+    ~Task() { destroy(); }
+
+    /** True if a coroutine is attached. */
+    bool valid() const { return static_cast<bool>(handle); }
+
+    /** True once the coroutine has run to completion (or thrown). */
+    bool done() const { return handle && handle.promise().completed; }
+
+    /** Start a top-level task (resume from the initial suspend point). */
+    void
+    start()
+    {
+        if (!handle)
+            panic("start() on empty Task");
+        handle.resume();
+    }
+
+    /**
+     * Retrieve the result of a completed task, rethrowing any exception
+     * that escaped the coroutine.
+     */
+    T
+    result()
+    {
+        if (!done())
+            panic("result() on unfinished Task");
+        if (handle.promise().exception)
+            std::rethrow_exception(handle.promise().exception);
+        if constexpr (!std::is_void_v<T>)
+            return std::move(*handle.promise().value);
+    }
+
+    // --- awaiter interface ---
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont) noexcept
+    {
+        handle.promise().continuation = cont;
+        return handle;
+    }
+
+    T
+    await_resume()
+    {
+        if (handle.promise().exception)
+            std::rethrow_exception(handle.promise().exception);
+        if constexpr (!std::is_void_v<T>)
+            return std::move(*handle.promise().value);
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle) {
+            handle.destroy();
+            handle = {};
+        }
+    }
+
+    Handle handle{};
+};
+
+namespace detail {
+
+template <typename T>
+Task<T>
+Promise<T>::get_return_object()
+{
+    return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void>
+Promise<void>::get_return_object()
+{
+    return Task<void>(
+        std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+} // namespace detail
+
+/** The common task types used throughout the simulator. */
+using SimTask = Task<void>;
+using WordTask = Task<Word>;
+
+/** Awaitable: suspend the current logical thread for @p n cycles. */
+struct Delay
+{
+    EventQueue& eq;
+    Cycles n;
+
+    bool await_ready() const noexcept { return n == 0; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        eq.schedule(n, [h] { h.resume(); });
+    }
+
+    void await_resume() const noexcept {}
+};
+
+/**
+ * A one-shot wake slot. A coroutine parks itself on a Waker via WaitOn;
+ * some other simulated agent later calls wake(), scheduling the resume.
+ */
+class Waker
+{
+  public:
+    explicit Waker(EventQueue& eq) : eq(&eq) {}
+
+    bool armed() const { return static_cast<bool>(handle); }
+
+    void
+    arm(std::coroutine_handle<> h)
+    {
+        if (handle)
+            panic("Waker armed twice");
+        handle = h;
+    }
+
+    /**
+     * Resume the parked coroutine @p delay cycles from now. A wake with
+     * nobody parked is remembered and satisfies the next WaitOn
+     * immediately (no lost wake-ups).
+     */
+    void
+    wake(Cycles delay = 0)
+    {
+        if (!handle) {
+            pending = true;
+            return;
+        }
+        auto h = std::exchange(handle, {});
+        eq->schedule(delay, [h] { h.resume(); });
+    }
+
+    /** Consume a remembered wake, if any. */
+    bool
+    consumePending()
+    {
+        return std::exchange(pending, false);
+    }
+
+    /** Drop the parked coroutine without resuming (owner is unwinding). */
+    void disarm() { handle = {}; }
+
+  private:
+    EventQueue* eq;
+    std::coroutine_handle<> handle{};
+    bool pending = false;
+};
+
+/** Awaitable: park on a Waker until somebody calls wake(). */
+struct WaitOn
+{
+    Waker& waker;
+
+    bool await_ready() const noexcept { return waker.consumePending(); }
+    void await_suspend(std::coroutine_handle<> h) const { waker.arm(h); }
+    void await_resume() const noexcept {}
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_SIM_TASK_HH

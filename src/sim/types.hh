@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator module.
+ */
+
+#ifndef TMSIM_SIM_TYPES_HH
+#define TMSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace tmsim {
+
+/** Simulated time, in processor clock cycles. */
+using Tick = std::uint64_t;
+
+/** A duration, in processor clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A simulated physical byte address. */
+using Addr = std::uint64_t;
+
+/** Identifier of a hardware CPU context, 0-based. */
+using CpuId = int;
+
+/** Transaction nesting level; 0 means "not in a transaction". */
+using NestLevel = int;
+
+/** A 64-bit data word, the granularity of simulated loads and stores. */
+using Word = std::uint64_t;
+
+/** Number of bytes in a simulated data word. */
+constexpr Addr wordBytes = 8;
+
+/** An invalid/sentinel address. */
+constexpr Addr invalidAddr = ~static_cast<Addr>(0);
+
+} // namespace tmsim
+
+#endif // TMSIM_SIM_TYPES_HH

@@ -1,0 +1,82 @@
+#include "workloads/harness.hh"
+
+#include "sim/logging.hh"
+
+namespace tmsim {
+
+RunResult
+runKernel(Kernel& kernel, const HtmConfig& htm, int n_threads,
+          Addr mem_bytes)
+{
+    MachineConfig cfg;
+    cfg.numCpus = n_threads;
+    cfg.htm = htm;
+    cfg.memBytes = mem_bytes;
+    Machine m(cfg);
+
+    kernel.init(m, n_threads);
+
+    std::vector<std::unique_ptr<TxThread>> threads;
+    threads.reserve(static_cast<size_t>(n_threads));
+    for (int i = 0; i < n_threads; ++i)
+        threads.push_back(std::make_unique<TxThread>(m.cpu(i)));
+
+    for (int i = 0; i < n_threads; ++i) {
+        TxThread* t = threads[static_cast<size_t>(i)].get();
+        m.spawn(i, [&kernel, t, i, n_threads](Cpu&) -> SimTask {
+            co_await kernel.thread(*t, i, n_threads);
+        });
+    }
+
+    RunResult r;
+    r.kernel = kernel.name();
+    r.htm = htm.describe();
+    r.threads = n_threads;
+    r.cycles = m.run();
+    r.commits = m.stats().sum("cpu*.htm.commits") +
+                m.stats().sum("cpu*.htm.open_commits");
+    r.rollbacks = m.stats().sum("cpu*.htm.rollbacks");
+    r.violationsTaken = m.stats().sum("cpu*.violations_taken");
+    r.busBusyCycles = m.stats().value("bus.busy_cycles");
+    std::uint64_t instr = 0;
+    for (int i = 0; i < n_threads; ++i)
+        instr += m.cpu(i).instret();
+    r.instructions = instr;
+    r.verified = kernel.verify(m, n_threads);
+    return r;
+}
+
+Fig5Row
+fig5Row(const KernelFactory& make, int n_threads, const HtmConfig& base)
+{
+    HtmConfig nested = base;
+    nested.nesting = NestingMode::Full;
+    HtmConfig flat = base;
+    flat.nesting = NestingMode::Flatten;
+
+    Fig5Row row;
+    {
+        auto k = make();
+        row.seq = runKernel(*k, nested, 1);
+        row.name = k->name();
+    }
+    {
+        auto k = make();
+        row.flat = runKernel(*k, flat, n_threads);
+    }
+    {
+        auto k = make();
+        row.nested = runKernel(*k, nested, n_threads);
+    }
+    row.nestingSpeedup = static_cast<double>(row.flat.cycles) /
+                         static_cast<double>(row.nested.cycles);
+    row.nestedVsSeq = static_cast<double>(row.seq.cycles) /
+                      static_cast<double>(row.nested.cycles);
+    row.flatVsSeq = static_cast<double>(row.seq.cycles) /
+                    static_cast<double>(row.flat.cycles);
+    row.allVerified =
+        row.seq.verified && row.flat.verified && row.nested.verified;
+    return row;
+}
+
+} // namespace tmsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Workload harness: runs a kernel on a configured Machine with one
+ * TxThread per CPU, verifies the result against a sequential
+ * reference, and extracts the numbers the benches report.
+ */
+
+#ifndef TMSIM_WORKLOADS_HARNESS_HH
+#define TMSIM_WORKLOADS_HARNESS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine.hh"
+#include "runtime/tx_thread.hh"
+
+namespace tmsim {
+
+/** Aggregate result of one workload run. */
+struct RunResult
+{
+    std::string kernel;
+    std::string htm;
+    int threads = 0;
+    Tick cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t violationsTaken = 0;
+    std::uint64_t busBusyCycles = 0;
+    bool verified = false;
+};
+
+/** A parallel workload with built-in verification. */
+class Kernel
+{
+  public:
+    virtual ~Kernel() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Build the initial memory image (host-side, untimed). */
+    virtual void init(Machine& m, int n_threads) = 0;
+
+    /** Body of thread @p tid of @p n_threads. */
+    virtual SimTask thread(TxThread& t, int tid, int n_threads) = 0;
+
+    /** Check the final memory image against the expected result. */
+    virtual bool verify(Machine& m, int n_threads) = 0;
+};
+
+/** Run @p kernel with @p n_threads CPUs under @p htm. */
+RunResult runKernel(Kernel& kernel, const HtmConfig& htm, int n_threads,
+                    Addr mem_bytes = 64ull * 1024 * 1024);
+
+/** One bar of the paper's figure 5. */
+struct Fig5Row
+{
+    std::string name;
+    /** Speedup of full nesting over flattening at n threads. */
+    double nestingSpeedup = 0.0;
+    /** Speedup of the nested version over 1-thread execution. */
+    double nestedVsSeq = 0.0;
+    /** Speedup of the flattened version over 1-thread execution. */
+    double flatVsSeq = 0.0;
+    RunResult nested;
+    RunResult flat;
+    RunResult seq;
+    bool allVerified = false;
+};
+
+/** Factory type so each configuration gets a fresh kernel instance. */
+using KernelFactory = std::function<std::unique_ptr<Kernel>()>;
+
+/** Run seq/flat/nested for one kernel and compute the figure-5 bar. */
+Fig5Row fig5Row(const KernelFactory& make, int n_threads,
+                const HtmConfig& base = HtmConfig::paperLazy());
+
+} // namespace tmsim
+
+#endif // TMSIM_WORKLOADS_HARNESS_HH

@@ -1,0 +1,288 @@
+#include "workloads/kernel_specjbb.hh"
+
+#include <set>
+
+namespace tmsim {
+
+std::string
+SpecJbbKernel::name() const
+{
+    switch (variant) {
+      case JbbVariant::Flat:
+        return "specjbb-flat";
+      case JbbVariant::ClosedNested:
+        return "specjbb-closed";
+      case JbbVariant::OpenNested:
+        return "specjbb-open";
+      case JbbVariant::Hybrid:
+        return "specjbb-hybrid";
+    }
+    return "specjbb";
+}
+
+SpecJbbKernel::Op
+SpecJbbKernel::opFor(int g)
+{
+    int slot = g % 10;
+    if (slot < 5)
+        return Op::NewOrder;
+    if (slot < 8)
+        return Op::Payment;
+    return Op::OrderStatus;
+}
+
+Word
+SpecJbbKernel::custFor(int g) const
+{
+    return 1 + (static_cast<Word>(g) * 31 + 7) %
+                   static_cast<Word>(p.customers);
+}
+
+Word
+SpecJbbKernel::itemFor(int g, int k) const
+{
+    return 1 + (static_cast<Word>(g) * 13 + static_cast<Word>(k) * 5) %
+                   static_cast<Word>(p.stockItems);
+}
+
+Word
+SpecJbbKernel::amountFor(int g)
+{
+    return 10 + static_cast<Word>(g) * 3 % 90;
+}
+
+void
+SpecJbbKernel::init(Machine& m, int /* n_threads */)
+{
+    BackingStore& mem = m.memory();
+    customerTree = SimBTree::create(mem, 512);
+    orderTree = SimBTree::create(mem, 1024);
+    stockTree = SimBTree::create(mem, 512);
+    orderIdAddr = mem.allocate(64, 64);
+    ytdBase = mem.allocate(districts * 64, 64);
+    mem.write(orderIdAddr, 1);
+
+    std::vector<std::pair<Word, Word>> custs;
+    for (int c = 0; c < p.customers; ++c)
+        custs.emplace_back(static_cast<Word>(c + 1), 1000);
+    customerTree.bulkLoad(mem, custs);
+
+    std::vector<std::pair<Word, Word>> stock;
+    for (int i = 0; i < p.stockItems; ++i)
+        stock.emplace_back(static_cast<Word>(i + 1), 100);
+    stockTree.bulkLoad(mem, stock);
+}
+
+SimTask
+SpecJbbKernel::treeGuard(TxThread& t, TxBody body)
+{
+    if (variant == JbbVariant::ClosedNested ||
+        variant == JbbVariant::Hybrid) {
+        co_await t.atomic(std::move(body));
+    } else {
+        co_await body(t);
+    }
+}
+
+SimTask
+SpecJbbKernel::newOrder(TxThread& t, int g)
+{
+    const Word cust = custFor(g);
+    co_await t.atomic([&](TxThread& tx) -> SimTask {
+        // Business logic: order assembly, pricing.
+        co_await tx.work(static_cast<std::uint64_t>(p.thinkCycles));
+
+        // Customer credit check (read-only, low contention).
+        co_await treeGuard(tx, [&](TxThread& ti) -> SimTask {
+            co_await customerTree.lookup(ti, cust);
+        });
+
+        // Stock reservations.
+        for (int k = 0; k < p.stockPerOrder; ++k) {
+            const Word item = itemFor(g, k);
+            co_await treeGuard(tx, [&](TxThread& ti) -> SimTask {
+                co_await stockTree.addDelta(
+                    ti, item, static_cast<Word>(-1));
+            });
+        }
+
+        // Unique global order id and order insertion, at the end of
+        // the operation.
+        //
+        //  - Open variant: the id comes from an open-nested increment
+        //    that commits immediately ("no compensation code is
+        //    needed ... as the order IDs must be unique, but not
+        //    necessarily sequential").
+        //  - Closed variant: id generation and insert form one
+        //    closed-nested transaction, so a conflict on the counter
+        //    or the order leaf replays only this small piece.
+        //  - Flat: both run directly in the outer transaction; every
+        //    parallel new-order conflicts on the counter (the paper's
+        //    motivation for open nesting).
+        auto orderKey = [](Word id) {
+            return (id % 4) * (1ull << 32) + id;
+        };
+        if (variant == JbbVariant::OpenNested) {
+            Word oid = 0;
+            co_await tx.atomicOpen([&](TxThread& ti) -> SimTask {
+                oid = co_await ti.ld(orderIdAddr);
+                co_await ti.st(orderIdAddr, oid + 1);
+            });
+            co_await tx.work(static_cast<std::uint64_t>(p.thinkCycles));
+            co_await orderTree.insert(tx, orderKey(oid),
+                                      (cust << 16) | (oid & 0xFFFF));
+        } else if (variant == JbbVariant::Hybrid) {
+            // Open-nested id generation AND closed-nested insert.
+            Word oid = 0;
+            co_await tx.atomicOpen([&](TxThread& ti) -> SimTask {
+                oid = co_await ti.ld(orderIdAddr);
+                co_await ti.st(orderIdAddr, oid + 1);
+            });
+            co_await tx.work(static_cast<std::uint64_t>(p.thinkCycles));
+            co_await tx.atomic([&](TxThread& ti) -> SimTask {
+                co_await orderTree.insert(ti, orderKey(oid),
+                                          (cust << 16) | (oid & 0xFFFF));
+            });
+        } else if (variant == JbbVariant::ClosedNested) {
+            co_await tx.work(static_cast<std::uint64_t>(p.thinkCycles));
+            co_await tx.atomic([&](TxThread& ti) -> SimTask {
+                Word oid = co_await ti.ld(orderIdAddr);
+                co_await ti.st(orderIdAddr, oid + 1);
+                co_await orderTree.insert(ti, orderKey(oid),
+                                          (cust << 16) | (oid & 0xFFFF));
+            });
+        } else {
+            Word oid = co_await tx.ld(orderIdAddr);
+            co_await tx.st(orderIdAddr, oid + 1);
+            co_await tx.work(static_cast<std::uint64_t>(p.thinkCycles));
+            co_await orderTree.insert(tx, orderKey(oid),
+                                      (cust << 16) | (oid & 0xFFFF));
+        }
+    });
+}
+
+SimTask
+SpecJbbKernel::payment(TxThread& t, int g)
+{
+    const Word cust = custFor(g);
+    const Word amount = amountFor(g);
+    co_await t.atomic([&](TxThread& tx) -> SimTask {
+        co_await tx.work(static_cast<std::uint64_t>(p.thinkCycles));
+        co_await treeGuard(tx, [&](TxThread& ti) -> SimTask {
+            co_await customerTree.addDelta(ti, cust, amount);
+        });
+        co_await tx.work(static_cast<std::uint64_t>(p.thinkCycles) / 2);
+        // District year-to-date accumulation (hot shared word, last).
+        Addr ytd = ytdBase + (cust % districts) * 64;
+        co_await treeGuard(tx, [&](TxThread& ti) -> SimTask {
+            Word v = co_await ti.ld(ytd);
+            co_await ti.st(ytd, v + amount);
+        });
+    });
+}
+
+SimTask
+SpecJbbKernel::orderStatus(TxThread& t, int g)
+{
+    const Word cust = custFor(g);
+    co_await t.atomic([&](TxThread& tx) -> SimTask {
+        co_await tx.work(static_cast<std::uint64_t>(p.thinkCycles) / 2);
+        co_await treeGuard(tx, [&](TxThread& ti) -> SimTask {
+            co_await customerTree.lookup(ti, cust);
+        });
+        co_await tx.work(static_cast<std::uint64_t>(p.thinkCycles) / 2);
+        co_await treeGuard(tx, [&](TxThread& ti) -> SimTask {
+            Word probe = co_await ti.ld(orderIdAddr);
+            // Probe a recently issued order id (read-only path).
+            co_await orderTree.lookup(ti, probe > 1 ? probe - 1 : 1);
+        });
+    });
+}
+
+SimTask
+SpecJbbKernel::thread(TxThread& t, int tid, int n_threads)
+{
+    for (int g = tid; g < p.totalOps; g += n_threads) {
+        switch (opFor(g)) {
+          case Op::NewOrder:
+            co_await newOrder(t, g);
+            break;
+          case Op::Payment:
+            co_await payment(t, g);
+            break;
+          case Op::OrderStatus:
+            co_await orderStatus(t, g);
+            break;
+        }
+    }
+}
+
+bool
+SpecJbbKernel::verify(Machine& m, int n_threads)
+{
+    const BackingStore& mem = m.memory();
+    if (!customerTree.validateStructure(mem) ||
+        !orderTree.validateStructure(mem) ||
+        !stockTree.validateStructure(mem)) {
+        return false;
+    }
+
+    // Replay the deterministic operation mix on the host.
+    (void)n_threads;
+    int newOrders = 0;
+    Word paymentsTotal = 0;
+    std::vector<Word> stockRef(static_cast<size_t>(p.stockItems), 100);
+    std::vector<Word> balanceRef(static_cast<size_t>(p.customers), 1000);
+    for (int g = 0; g < p.totalOps; ++g) {
+        switch (opFor(g)) {
+          case Op::NewOrder:
+            ++newOrders;
+            for (int k = 0; k < p.stockPerOrder; ++k)
+                --stockRef[static_cast<size_t>(itemFor(g, k) - 1)];
+            break;
+          case Op::Payment:
+            paymentsTotal += amountFor(g);
+            balanceRef[static_cast<size_t>(custFor(g) - 1)] +=
+                amountFor(g);
+            break;
+          case Op::OrderStatus:
+            break;
+        }
+    }
+
+    // Orders: exactly one per committed new-order, ids unique.
+    auto orders = orderTree.items(mem);
+    if (orders.size() != static_cast<size_t>(newOrders))
+        return false;
+    std::set<Word> ids;
+    for (const auto& [k, v] : orders) {
+        (void)v;
+        ids.insert(k);
+    }
+    if (ids.size() != orders.size())
+        return false;
+
+    // Stock conservation.
+    auto stock = stockTree.items(mem);
+    if (stock.size() != static_cast<size_t>(p.stockItems))
+        return false;
+    for (const auto& [k, v] : stock) {
+        if (v != stockRef[static_cast<size_t>(k - 1)])
+            return false;
+    }
+
+    // Customer balances and district YTD totals.
+    auto custs = customerTree.items(mem);
+    if (custs.size() != static_cast<size_t>(p.customers))
+        return false;
+    for (const auto& [k, v] : custs) {
+        if (v != balanceRef[static_cast<size_t>(k - 1)])
+            return false;
+    }
+    Word ytdTotal = 0;
+    for (int d = 0; d < districts; ++d)
+        ytdTotal += mem.read(ytdBase + static_cast<Addr>(d) * 64);
+    return ytdTotal == paymentsTotal;
+}
+
+} // namespace tmsim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * SPECjbb2000-style warehouse workload (paper section 7.1): customer
+ * tasks (new order, payment, order status) over shared B-trees inside
+ * one warehouse, in the paper's three parallelisations:
+ *
+ *  - Flat:   one outer transaction per operation (the 1.92x baseline).
+ *  - Closed: B-tree searches/updates wrapped in closed-nested
+ *            transactions (the paper's SPECjbb2000-closed, 2.05x over
+ *            flat).
+ *  - Open:   the global order-ID counter increments in an open-nested
+ *            transaction (SPECjbb2000-open, 2.22x over flat; "no
+ *            compensation code is needed ... as the order IDs must be
+ *            unique, but not necessarily sequential").
+ */
+
+#ifndef TMSIM_WORKLOADS_KERNEL_SPECJBB_HH
+#define TMSIM_WORKLOADS_KERNEL_SPECJBB_HH
+
+#include "workloads/btree.hh"
+#include "workloads/harness.hh"
+
+namespace tmsim {
+
+enum class JbbVariant
+{
+    Flat,
+    ClosedNested,
+    OpenNested,
+    /** Closed-nested tree operations AND the open-nested order-id
+     *  counter — the combination the paper suggests but does not
+     *  evaluate ("We could use both open and closed nesting to obtain
+     *  the advantages of both approaches"). */
+    Hybrid,
+};
+
+struct JbbParams
+{
+    /** Total operations, statically partitioned over the threads
+     *  (strong scaling, like the paper's fixed warehouse load). */
+    int totalOps = 160;
+    int customers = 256;
+    int stockItems = 512;
+    int stockPerOrder = 3;
+    /** ALU "business logic" cycles per operation phase. */
+    int thinkCycles = 1000;
+};
+
+class SpecJbbKernel : public Kernel
+{
+  public:
+    explicit SpecJbbKernel(JbbVariant variant,
+                           JbbParams params = JbbParams{})
+        : variant(variant), p(params)
+    {
+    }
+
+    std::string name() const override;
+    void init(Machine& m, int n_threads) override;
+    SimTask thread(TxThread& t, int tid, int n_threads) override;
+    bool verify(Machine& m, int n_threads) override;
+
+    /** Inspection hooks for tests. */
+    const SimBTree& orders() const { return orderTree; }
+    const SimBTree& customers() const { return customerTree; }
+    const SimBTree& stock() const { return stockTree; }
+
+  private:
+    /** Deterministic operation selector: 5/3/2 mix per 10 ops. */
+    enum class Op
+    {
+        NewOrder,
+        Payment,
+        OrderStatus,
+    };
+    static Op opFor(int g);
+
+    SimTask newOrder(TxThread& t, int g);
+    SimTask payment(TxThread& t, int g);
+    SimTask orderStatus(TxThread& t, int g);
+
+    /** Run a tree operation, closed-nested under the Closed variant. */
+    SimTask treeGuard(TxThread& t, TxBody body);
+
+    Word custFor(int g) const;
+    Word itemFor(int g, int k) const;
+    static Word amountFor(int g);
+
+    JbbVariant variant;
+    JbbParams p;
+    SimBTree customerTree;
+    SimBTree orderTree;
+    SimBTree stockTree;
+    Addr orderIdAddr = 0;
+    Addr ytdBase = 0; // 4 district year-to-date counters (1 line each)
+    static constexpr int districts = 4;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_WORKLOADS_KERNEL_SPECJBB_HH

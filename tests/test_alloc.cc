@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Transactional allocator (paper section 5): open-nested brk updates
+ * and violation/abort compensation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/machine.hh"
+#include "runtime/tx_alloc.hh"
+#include "runtime/tx_thread.hh"
+
+using namespace tmsim;
+
+namespace {
+
+MachineConfig
+config(int cpus = 2)
+{
+    MachineConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.htm = HtmConfig::paperLazy();
+    cfg.memBytes = 16 * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(TxAlloc, AllocOutsideTransaction)
+{
+    Machine m(config(1));
+    TxHeap heap = TxHeap::create(m.memory(), 1 << 20);
+    TxThread t0(m.cpu(0));
+    Addr p = 0;
+
+    m.spawn(0, [&](Cpu&) -> SimTask { p = co_await heap.alloc(t0, 100); });
+    m.run();
+    EXPECT_NE(p, 0u);
+    EXPECT_EQ(heap.liveBytes(m.memory()), 128u); // rounded to 64
+    EXPECT_EQ(heap.compensations(), 0u);
+}
+
+TEST(TxAlloc, DistinctBlocksForConcurrentAllocators)
+{
+    constexpr int nThreads = 4;
+    Machine m(config(nThreads));
+    TxHeap heap = TxHeap::create(m.memory(), 1 << 20);
+    std::vector<std::unique_ptr<TxThread>> threads;
+    for (int i = 0; i < nThreads; ++i)
+        threads.push_back(std::make_unique<TxThread>(m.cpu(i)));
+    std::vector<Addr> blocks;
+
+    for (int i = 0; i < nThreads; ++i) {
+        m.spawn(i, [&, i](Cpu&) -> SimTask {
+            TxThread& t = *threads[static_cast<size_t>(i)];
+            for (int k = 0; k < 8; ++k) {
+                co_await t.atomic([&](TxThread& th) -> SimTask {
+                    Addr p = co_await heap.alloc(th, 64);
+                    blocks.push_back(p);
+                });
+            }
+        });
+    }
+    m.run();
+    ASSERT_EQ(blocks.size(), 32u);
+    std::sort(blocks.begin(), blocks.end());
+    EXPECT_EQ(std::unique(blocks.begin(), blocks.end()), blocks.end());
+    EXPECT_EQ(heap.liveBytes(m.memory()), 32u * 64u);
+}
+
+TEST(TxAlloc, AbortCompensatesAllocation)
+{
+    Machine m(config(1));
+    TxHeap heap = TxHeap::create(m.memory(), 1 << 20);
+    TxThread t0(m.cpu(0));
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        TxOutcome out = co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await heap.alloc(t, 64);
+            co_await t.cpu().xabort(1);
+        });
+        EXPECT_EQ(out.result, TxResult::Aborted);
+    });
+    m.run();
+    EXPECT_EQ(heap.liveBytes(m.memory()), 0u);
+    EXPECT_EQ(heap.compensations(), 1u);
+}
+
+TEST(TxAlloc, ViolationCompensatesThenRetrySucceeds)
+{
+    Machine m(config(1));
+    TxHeap heap = TxHeap::create(m.memory(), 1 << 20);
+    TxThread t0(m.cpu(0));
+    bool first = true;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await heap.alloc(t, 64);
+            if (first) {
+                first = false;
+                c.htm().raiseViolation(0x1, 0);
+                co_await t.work(1);
+            }
+        });
+    });
+    m.run();
+    // One compensated allocation plus one committed one.
+    EXPECT_EQ(heap.compensations(), 1u);
+    EXPECT_EQ(heap.liveBytes(m.memory()), 64u);
+}
+
+TEST(TxAlloc, ExplicitFreeReducesLiveBytes)
+{
+    Machine m(config(1));
+    TxHeap heap = TxHeap::create(m.memory(), 1 << 20);
+    TxThread t0(m.cpu(0));
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        Addr p = co_await heap.alloc(t0, 256);
+        co_await heap.free(t0, p, 256);
+    });
+    m.run();
+    EXPECT_EQ(heap.liveBytes(m.memory()), 0u);
+}
+
+TEST(TxAlloc, CommittedAllocationNotCompensated)
+{
+    Machine m(config(1));
+    TxHeap heap = TxHeap::create(m.memory(), 1 << 20);
+    TxThread t0(m.cpu(0));
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await heap.alloc(t, 64);
+        });
+        // Abort in a LATER transaction must not touch the earlier
+        // allocation (handlers were truncated at commit).
+        TxOutcome out = co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await t.cpu().xabort(1);
+        });
+        EXPECT_EQ(out.result, TxResult::Aborted);
+    });
+    m.run();
+    EXPECT_EQ(heap.compensations(), 0u);
+    EXPECT_EQ(heap.liveBytes(m.memory()), 64u);
+}

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * The simulated-memory B-tree substrate: structural invariants,
+ * inserts with splits, lookups, bulk loading, transactional atomicity
+ * under rollback, and concurrent mixed operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "core/machine.hh"
+#include "sim/rng.hh"
+#include "workloads/btree.hh"
+
+using namespace tmsim;
+
+namespace {
+
+MachineConfig
+config(int cpus = 1)
+{
+    MachineConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.htm = HtmConfig::paperLazy();
+    cfg.memBytes = 32 * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(BTree, EmptyTreeIsValid)
+{
+    Machine m(config());
+    SimBTree tree = SimBTree::create(m.memory(), 64);
+    EXPECT_TRUE(tree.validateStructure(m.memory()));
+    EXPECT_EQ(tree.size(m.memory()), 0u);
+}
+
+TEST(BTree, InsertAndLookupSequential)
+{
+    Machine m(config());
+    SimBTree tree = SimBTree::create(m.memory(), 256);
+    TxThread t0(m.cpu(0));
+    constexpr int n = 100;
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        for (int i = 1; i <= n; ++i) {
+            co_await t0.atomic([&](TxThread& t) -> SimTask {
+                co_await tree.insert(t, static_cast<Word>(i),
+                                     static_cast<Word>(i * 10));
+            });
+        }
+        for (int i = 1; i <= n; ++i) {
+            co_await t0.atomic([&](TxThread& t) -> SimTask {
+                Word v = co_await tree.lookup(t, static_cast<Word>(i));
+                EXPECT_EQ(v, static_cast<Word>(i * 10));
+            });
+        }
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            Word v = co_await tree.lookup(t, 9999);
+            EXPECT_EQ(v, 0u);
+        });
+    });
+    m.run();
+    EXPECT_TRUE(tree.validateStructure(m.memory()));
+    EXPECT_EQ(tree.size(m.memory()), static_cast<size_t>(n));
+}
+
+TEST(BTree, RandomInsertOrderMatchesReferenceMap)
+{
+    Machine m(config());
+    SimBTree tree = SimBTree::create(m.memory(), 512);
+    TxThread t0(m.cpu(0));
+    std::map<Word, Word> ref;
+    Rng rng(42);
+    std::vector<std::pair<Word, Word>> ops;
+    for (int i = 0; i < 200; ++i) {
+        Word k = rng.range(1, 500);
+        Word v = rng.next() | 1;
+        ops.emplace_back(k, v);
+        ref[k] = v; // overwrite semantics
+    }
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        for (const auto& [k, v] : ops) {
+            co_await t0.atomic([&](TxThread& t) -> SimTask {
+                co_await tree.insert(t, k, v);
+            });
+        }
+    });
+    m.run();
+    EXPECT_TRUE(tree.validateStructure(m.memory()));
+    auto items = tree.items(m.memory());
+    ASSERT_EQ(items.size(), ref.size());
+    auto it = ref.begin();
+    for (const auto& [k, v] : items) {
+        EXPECT_EQ(k, it->first);
+        EXPECT_EQ(v, it->second);
+        ++it;
+    }
+}
+
+TEST(BTree, AddDeltaUpdatesInPlace)
+{
+    Machine m(config());
+    SimBTree tree = SimBTree::create(m.memory(), 64);
+    TxThread t0(m.cpu(0));
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await tree.insert(t, 5, 100);
+        });
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            Word v = co_await tree.addDelta(t, 5, 7);
+            EXPECT_EQ(v, 107u);
+        });
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            Word v = co_await tree.addDelta(t, 6, 7); // absent
+            EXPECT_EQ(v, 0u);
+        });
+    });
+    m.run();
+    auto items = tree.items(m.memory());
+    ASSERT_EQ(items.size(), 1u);
+    EXPECT_EQ(items[0].second, 107u);
+}
+
+TEST(BTree, BulkLoadBuildsValidTree)
+{
+    for (int n : {1, 3, 4, 5, 16, 17, 64, 100, 333}) {
+        Machine m(config());
+        SimBTree tree = SimBTree::create(m.memory(), 1024);
+        std::vector<std::pair<Word, Word>> pairs;
+        for (int i = 0; i < n; ++i)
+            pairs.emplace_back(static_cast<Word>(2 * i + 1),
+                               static_cast<Word>(i));
+        tree.bulkLoad(m.memory(), pairs);
+        EXPECT_TRUE(tree.validateStructure(m.memory())) << "n=" << n;
+        auto items = tree.items(m.memory());
+        ASSERT_EQ(items.size(), static_cast<size_t>(n)) << "n=" << n;
+        for (int i = 0; i < n; ++i)
+            EXPECT_EQ(items[static_cast<size_t>(i)].first,
+                      static_cast<Word>(2 * i + 1));
+    }
+}
+
+TEST(BTree, InsertIntoBulkLoadedTree)
+{
+    Machine m(config());
+    SimBTree tree = SimBTree::create(m.memory(), 512);
+    std::vector<std::pair<Word, Word>> pairs;
+    for (int i = 0; i < 50; ++i)
+        pairs.emplace_back(static_cast<Word>(2 * i + 2),
+                           static_cast<Word>(i));
+    tree.bulkLoad(m.memory(), pairs);
+    TxThread t0(m.cpu(0));
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        for (int i = 0; i < 50; ++i) {
+            co_await t0.atomic([&](TxThread& t) -> SimTask {
+                co_await tree.insert(t, static_cast<Word>(2 * i + 1),
+                                     999);
+            });
+        }
+    });
+    m.run();
+    EXPECT_TRUE(tree.validateStructure(m.memory()));
+    EXPECT_EQ(tree.size(m.memory()), 100u);
+}
+
+TEST(BTree, AbortedInsertLeavesTreeUntouched)
+{
+    Machine m(config());
+    SimBTree tree = SimBTree::create(m.memory(), 128);
+    TxThread t0(m.cpu(0));
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        for (int i = 1; i <= 20; ++i) {
+            co_await t0.atomic([&](TxThread& t) -> SimTask {
+                co_await tree.insert(t, static_cast<Word>(i),
+                                     static_cast<Word>(i));
+            });
+        }
+        TxOutcome out = co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await tree.insert(t, 100, 100);
+            co_await t.cpu().xabort(1);
+        });
+        EXPECT_EQ(out.result, TxResult::Aborted);
+    });
+    m.run();
+    EXPECT_TRUE(tree.validateStructure(m.memory()));
+    EXPECT_EQ(tree.size(m.memory()), 20u);
+    // The aborted insert's key must be absent.
+    for (const auto& [k, v] : tree.items(m.memory())) {
+        (void)v;
+        EXPECT_NE(k, 100u);
+    }
+}
+
+TEST(BTree, ConcurrentDisjointInsertsAllLand)
+{
+    constexpr int nThreads = 4;
+    constexpr int perThread = 25;
+    Machine m(config(nThreads));
+    SimBTree tree = SimBTree::create(m.memory(), 1024);
+    std::vector<std::unique_ptr<TxThread>> threads;
+    for (int i = 0; i < nThreads; ++i)
+        threads.push_back(std::make_unique<TxThread>(m.cpu(i)));
+
+    for (int i = 0; i < nThreads; ++i) {
+        m.spawn(i, [&, i](Cpu&) -> SimTask {
+            TxThread& t = *threads[static_cast<size_t>(i)];
+            for (int k = 0; k < perThread; ++k) {
+                Word key = static_cast<Word>(i * 1000 + k + 1);
+                co_await t.atomic([&](TxThread& th) -> SimTask {
+                    co_await tree.insert(th, key, key * 2);
+                });
+            }
+        });
+    }
+    m.run();
+    EXPECT_TRUE(tree.validateStructure(m.memory()));
+    EXPECT_EQ(tree.size(m.memory()),
+              static_cast<size_t>(nThreads * perThread));
+}
+
+TEST(BTree, ConcurrentMixedOpsPreserveSum)
+{
+    // Concurrent addDelta ops: the sum of all values must be exact.
+    constexpr int nThreads = 4;
+    constexpr int perThread = 30;
+    Machine m(config(nThreads));
+    SimBTree tree = SimBTree::create(m.memory(), 512);
+    std::vector<std::pair<Word, Word>> pairs;
+    for (int i = 1; i <= 16; ++i)
+        pairs.emplace_back(static_cast<Word>(i), 1000);
+    tree.bulkLoad(m.memory(), pairs);
+    std::vector<std::unique_ptr<TxThread>> threads;
+    for (int i = 0; i < nThreads; ++i)
+        threads.push_back(std::make_unique<TxThread>(m.cpu(i)));
+
+    for (int i = 0; i < nThreads; ++i) {
+        m.spawn(i, [&, i](Cpu&) -> SimTask {
+            TxThread& t = *threads[static_cast<size_t>(i)];
+            Rng rng(static_cast<std::uint64_t>(i) + 99);
+            for (int k = 0; k < perThread; ++k) {
+                Word key = rng.range(1, 16);
+                co_await t.atomic([&](TxThread& th) -> SimTask {
+                    co_await tree.addDelta(th, key, 1);
+                });
+            }
+        });
+    }
+    m.run();
+    EXPECT_TRUE(tree.validateStructure(m.memory()));
+    Word sum = 0;
+    for (const auto& [k, v] : tree.items(m.memory())) {
+        (void)k;
+        sum += v;
+    }
+    EXPECT_EQ(sum, 16u * 1000u + nThreads * perThread);
+}

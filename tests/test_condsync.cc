@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Conditional synchronisation (paper figure 3 / section 7.3): the
+ * scheduler transaction with its continuing violation handler, worker
+ * watch/retry, wake-ups on producer commits, and producer/consumer
+ * pipelines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/machine.hh"
+#include "runtime/cond_sched.hh"
+#include "runtime/tx_thread.hh"
+
+using namespace tmsim;
+
+namespace {
+
+MachineConfig
+config(int cpus)
+{
+    MachineConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.htm = HtmConfig::paperLazy();
+    cfg.memBytes = 16 * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CondSync, ConsumerWakesWhenProducerCommits)
+{
+    Machine m(config(3));
+    CondScheduler sched(m.memory(), 2);
+    TxThread tSched(m.cpu(0));
+    TxThread tCons(m.cpu(1));
+    TxThread tProd(m.cpu(2));
+    sched.addWorker(0, &tCons);
+    Addr flag = m.memory().allocate(64);
+    Word consumed = 0;
+    int bodyRuns = 0;
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await sched.schedulerBody(tSched, 2);
+    });
+    m.spawn(1, [&](Cpu&) -> SimTask {
+        co_await tCons.atomic([&](TxThread& t) -> SimTask {
+            ++bodyRuns;
+            Word v = co_await sched.loadOrRetry(
+                t, 0, flag, [](Word w) { return w != 0; });
+            consumed = v;
+            co_await t.st(flag, 0); // consume
+        });
+        co_await sched.workerDone(tCons);
+    });
+    m.spawn(2, [&](Cpu&) -> SimTask {
+        co_await m.cpu(2).exec(5000); // let the consumer block first
+        co_await tProd.atomic(
+            [&](TxThread& t) -> SimTask { co_await t.st(flag, 42); });
+        co_await sched.workerDone(tProd);
+    });
+
+    m.run();
+    EXPECT_EQ(consumed, 42u);
+    EXPECT_GE(bodyRuns, 2); // blocked at least once
+    EXPECT_GE(sched.wakeups(), 1u);
+    EXPECT_GE(sched.schedulerViolations(), 1u);
+    EXPECT_EQ(m.memory().read(flag), 0u);
+}
+
+TEST(CondSync, NoBlockWhenConditionAlreadyTrue)
+{
+    Machine m(config(2));
+    CondScheduler sched(m.memory(), 1);
+    TxThread tSched(m.cpu(0));
+    TxThread tCons(m.cpu(1));
+    sched.addWorker(0, &tCons);
+    Addr flag = m.memory().allocate(64);
+    m.memory().write(flag, 7);
+    int bodyRuns = 0;
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await sched.schedulerBody(tSched, 1);
+    });
+    m.spawn(1, [&](Cpu&) -> SimTask {
+        co_await tCons.atomic([&](TxThread& t) -> SimTask {
+            ++bodyRuns;
+            Word v = co_await sched.loadOrRetry(
+                t, 0, flag, [](Word w) { return w != 0; });
+            EXPECT_EQ(v, 7u);
+        });
+        co_await sched.workerDone(tCons);
+    });
+    m.run();
+    EXPECT_EQ(bodyRuns, 1);
+    EXPECT_EQ(sched.wakeups(), 0u);
+}
+
+TEST(CondSync, ProducerConsumerPipelineTransfersAllItems)
+{
+    // Bounded single-slot mailbox between one producer and one
+    // consumer, both using watch/retry in both directions.
+    constexpr int items = 10;
+    Machine m(config(3));
+    CondScheduler sched(m.memory(), 2);
+    TxThread tSched(m.cpu(0));
+    TxThread tProd(m.cpu(1));
+    TxThread tCons(m.cpu(2));
+    sched.addWorker(0, &tProd);
+    sched.addWorker(1, &tCons);
+
+    Addr slot = m.memory().allocate(64);  // 0 = empty, else item
+    std::vector<Word> received;
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await sched.schedulerBody(tSched, 2);
+    });
+    m.spawn(1, [&](Cpu&) -> SimTask {
+        for (int i = 1; i <= items; ++i) {
+            co_await tProd.atomic([&, i](TxThread& t) -> SimTask {
+                co_await sched.loadOrRetry(t, 0, slot,
+                                           [](Word w) { return w == 0; });
+                co_await t.st(slot, static_cast<Word>(i));
+            });
+        }
+        co_await sched.workerDone(tProd);
+    });
+    m.spawn(2, [&](Cpu&) -> SimTask {
+        for (int i = 0; i < items; ++i) {
+            Word got = 0;
+            co_await tCons.atomic([&](TxThread& t) -> SimTask {
+                got = co_await sched.loadOrRetry(
+                    t, 1, slot, [](Word w) { return w != 0; });
+                co_await t.st(slot, 0);
+            });
+            received.push_back(got);
+        }
+        co_await sched.workerDone(tCons);
+    });
+
+    m.run();
+    ASSERT_EQ(received.size(), static_cast<size_t>(items));
+    for (int i = 0; i < items; ++i)
+        EXPECT_EQ(received[static_cast<size_t>(i)],
+                  static_cast<Word>(i + 1));
+}
+
+TEST(CondSync, MultipleConsumersAllWake)
+{
+    // One producer writes a broadcast flag; every watcher must wake.
+    constexpr int consumers = 3;
+    Machine m(config(consumers + 2));
+    CondScheduler sched(m.memory(), consumers);
+    TxThread tSched(m.cpu(0));
+    std::vector<std::unique_ptr<TxThread>> cons;
+    for (int i = 0; i < consumers; ++i) {
+        cons.push_back(std::make_unique<TxThread>(m.cpu(i + 1)));
+        sched.addWorker(i, cons.back().get());
+    }
+    TxThread tProd(m.cpu(consumers + 1));
+    Addr flag = m.memory().allocate(64);
+    int woken = 0;
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await sched.schedulerBody(tSched, consumers + 1);
+    });
+    for (int i = 0; i < consumers; ++i) {
+        m.spawn(i + 1, [&, i](Cpu&) -> SimTask {
+            TxThread& t = *cons[static_cast<size_t>(i)];
+            co_await t.atomic([&](TxThread& th) -> SimTask {
+                co_await sched.loadOrRetry(th, i, flag,
+                                           [](Word w) { return w != 0; });
+            });
+            ++woken;
+            co_await sched.workerDone(t);
+        });
+    }
+    m.spawn(consumers + 1, [&](Cpu& c) -> SimTask {
+        co_await c.exec(8000);
+        co_await tProd.atomic(
+            [&](TxThread& t) -> SimTask { co_await t.st(flag, 1); });
+        co_await sched.workerDone(tProd);
+    });
+
+    m.run();
+    EXPECT_EQ(woken, consumers);
+    EXPECT_GE(sched.wakeups(), static_cast<std::uint64_t>(consumers));
+}
+
+TEST(CondSync, CancelRemovesStaleWatch)
+{
+    // A consumer that is violated after watching (but before parking)
+    // publishes CANCEL (figure 3's cancel handler); the scheduler must
+    // drop the stale watch and the retry must re-watch cleanly.
+    Machine m(config(3));
+    CondScheduler sched(m.memory(), 2);
+    TxThread tSched(m.cpu(0));
+    TxThread tCons(m.cpu(1));
+    TxThread tProd(m.cpu(2));
+    sched.addWorker(0, &tCons);
+    Addr flag = m.memory().allocate(64);
+    Addr poison = m.memory().allocate(64);
+    int bodyRuns = 0;
+    Word consumed = 0;
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await sched.schedulerBody(tSched, 2);
+    });
+    m.spawn(1, [&](Cpu&) -> SimTask {
+        co_await tCons.atomic([&](TxThread& t) -> SimTask {
+            ++bodyRuns;
+            // Reads 'poison' so the producer can violate us between
+            // watch and park on the first attempt.
+            co_await t.ld(poison);
+            consumed = co_await sched.loadOrRetry(
+                t, 0, flag, [](Word w) { return w != 0; });
+        });
+        co_await sched.workerDone(tCons);
+    });
+    m.spawn(2, [&](Cpu& c) -> SimTask {
+        // First violate the consumer through 'poison'...
+        co_await c.exec(3000);
+        co_await tProd.atomic(
+            [&](TxThread& t) -> SimTask { co_await t.st(poison, 1); });
+        // ...then eventually satisfy the condition.
+        co_await c.exec(6000);
+        co_await tProd.atomic(
+            [&](TxThread& t) -> SimTask { co_await t.st(flag, 5); });
+        co_await sched.workerDone(tProd);
+    });
+    m.run();
+    EXPECT_EQ(consumed, 5u);
+    EXPECT_GE(bodyRuns, 2);
+}
+
+TEST(CondSync, WakeBeforeParkIsNotLost)
+{
+    // The producer may commit between the consumer's watch and its
+    // park; the pending-wake mechanism must absorb the race.
+    Machine m(config(3));
+    CondScheduler sched(m.memory(), 2);
+    TxThread tSched(m.cpu(0));
+    TxThread tCons(m.cpu(1));
+    TxThread tProd(m.cpu(2));
+    sched.addWorker(0, &tCons);
+    Addr flag = m.memory().allocate(64);
+    Word consumed = 0;
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await sched.schedulerBody(tSched, 2);
+    });
+    m.spawn(1, [&](Cpu& c) -> SimTask {
+        co_await c.exec(50);
+        co_await tCons.atomic([&](TxThread& t) -> SimTask {
+            consumed = co_await sched.loadOrRetry(
+                t, 0, flag, [](Word w) { return w != 0; });
+        });
+        co_await sched.workerDone(tCons);
+    });
+    m.spawn(2, [&](Cpu& c) -> SimTask {
+        co_await c.exec(60); // land right on top of the watch window
+        co_await tProd.atomic(
+            [&](TxThread& t) -> SimTask { co_await t.st(flag, 9); });
+        co_await sched.workerDone(tProd);
+    });
+    m.run();
+    EXPECT_EQ(consumed, 9u);
+}

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for the optional/extension features: word-granularity conflict
+ * tracking (paper 6.3.1), safe early release under word granularity
+ * (paper 4.7), tryatomic-style alternate paths (atomicOrElse), the
+ * retry-backoff configuration, and open-nested reductions with
+ * compensation (the mp3d ablation path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/machine.hh"
+#include "core/tx_signals.hh"
+#include "runtime/tx_thread.hh"
+#include "workloads/kernel_mp3d.hh"
+
+using namespace tmsim;
+
+namespace {
+
+MachineConfig
+config(HtmConfig htm, int cpus = 2)
+{
+    MachineConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.htm = htm;
+    cfg.memBytes = 8 * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(WordGranularity, FalseSharingDoesNotConflict)
+{
+    HtmConfig htm = HtmConfig::paperLazy();
+    htm.granularity = TrackGranularity::Word;
+    Machine m(config(htm));
+    Addr base = m.memory().allocate(64); // both words on ONE line
+    Addr w0 = base, w1 = base + 8;
+
+    for (int i = 0; i < 2; ++i) {
+        Addr mine = i == 0 ? w0 : w1;
+        m.spawn(i, [&, mine](Cpu& c) -> SimTask {
+            co_await c.xbegin();
+            Word v = co_await c.load(mine);
+            co_await c.exec(800); // overlap the two transactions
+            co_await c.store(mine, v + 7);
+            co_await c.xvalidate();
+            co_await c.xcommit();
+        });
+    }
+    m.run();
+    EXPECT_EQ(m.memory().read(w0), 7u);
+    EXPECT_EQ(m.memory().read(w1), 7u);
+    EXPECT_EQ(m.stats().sum("cpu*.htm.rollbacks"), 0u);
+}
+
+TEST(WordGranularity, TrueSharingStillConflicts)
+{
+    HtmConfig htm = HtmConfig::paperLazy();
+    htm.granularity = TrackGranularity::Word;
+    Machine m(config(htm));
+    Addr a = m.memory().allocate(64);
+    constexpr int iters = 30;
+
+    for (int t = 0; t < 2; ++t) {
+        m.spawn(t, [&](Cpu& c) -> SimTask {
+            for (int i = 0; i < iters; ++i) {
+                for (;;) {
+                    co_await c.xbegin();
+                    try {
+                        Word v = co_await c.load(a);
+                        co_await c.exec(10);
+                        co_await c.store(a, v + 1);
+                        co_await c.xvalidate();
+                        co_await c.xcommit();
+                        break;
+                    } catch (const TxRollback&) {
+                    }
+                }
+            }
+        });
+    }
+    m.run();
+    EXPECT_EQ(m.memory().read(a), static_cast<Word>(2 * iters));
+}
+
+TEST(WordGranularity, ReleaseIsWordPrecise)
+{
+    // Paper 4.7: with line-granular sets, releasing a word address
+    // cannot safely release the line. With word-granular sets it can:
+    // releasing word A keeps the subscription on word B of the same
+    // line.
+    HtmConfig htm = HtmConfig::paperLazy();
+    htm.granularity = TrackGranularity::Word;
+    Machine m(config(htm));
+    Addr base = m.memory().allocate(64);
+    Addr a = base, b = base + 8;
+    int rollbacks = 0;
+    bool committed = false;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        for (;;) {
+            co_await c.xbegin();
+            try {
+                co_await c.load(a);
+                co_await c.load(b);
+                co_await c.release(a); // drop ONLY word a
+                co_await c.exec(2000);
+                co_await c.xvalidate();
+                co_await c.xcommit();
+                committed = true;
+                co_return;
+            } catch (const TxRollback& r) {
+                ++rollbacks;
+                // Must be the conflict on b (still subscribed), and
+                // only when cpu1 writes b.
+                EXPECT_EQ(r.vaddr, b);
+            }
+        }
+    });
+    m.spawn(1, [&](Cpu& c) -> SimTask {
+        co_await c.exec(300);
+        co_await c.xbegin();
+        co_await c.store(a, 1); // released: no violation
+        co_await c.xvalidate();
+        co_await c.xcommit();
+        co_await c.exec(300);
+        co_await c.xbegin();
+        co_await c.store(b, 2); // still subscribed: violation
+        co_await c.xvalidate();
+        co_await c.xcommit();
+    });
+    m.run();
+    EXPECT_TRUE(committed);
+    EXPECT_EQ(rollbacks, 1);
+}
+
+TEST(WordGranularity, WorkloadVerifiesUnderWordTracking)
+{
+    HtmConfig htm = HtmConfig::paperLazy();
+    htm.granularity = TrackGranularity::Word;
+    Mp3dParams p;
+    p.particles = 128;
+    Mp3dKernel k(p);
+    RunResult r = runKernel(k, htm, 8);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(AtomicOrElse, AlternatePathRunsOnAbort)
+{
+    Machine m(config(HtmConfig::paperLazy(), 1));
+    TxThread t0(m.cpu(0));
+    Addr a = m.memory().allocate(64);
+    int primaryRuns = 0;
+    int altRuns = 0;
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        TxOutcome out = co_await t0.atomicOrElse(
+            [&](TxThread& t) -> SimTask {
+                ++primaryRuns;
+                co_await t.st(a, 1);
+                co_await t.cpu().xabort(9); // tryatomic failure path
+            },
+            [&](TxThread& t) -> SimTask {
+                ++altRuns;
+                co_await t.st(a, 2);
+            });
+        EXPECT_TRUE(out.committed());
+    });
+    m.run();
+    EXPECT_EQ(primaryRuns, 1);
+    EXPECT_EQ(altRuns, 1);
+    EXPECT_EQ(m.memory().read(a), 2u); // only the alternate committed
+}
+
+TEST(AtomicOrElse, AlternateSkippedOnCommit)
+{
+    Machine m(config(HtmConfig::paperLazy(), 1));
+    TxThread t0(m.cpu(0));
+    Addr a = m.memory().allocate(64);
+    int altRuns = 0;
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        TxOutcome out = co_await t0.atomicOrElse(
+            [&](TxThread& t) -> SimTask { co_await t.st(a, 1); },
+            [&](TxThread& t) -> SimTask {
+                ++altRuns;
+                co_await t.st(a, 2);
+            });
+        EXPECT_TRUE(out.committed());
+    });
+    m.run();
+    EXPECT_EQ(altRuns, 0);
+    EXPECT_EQ(m.memory().read(a), 1u);
+}
+
+TEST(AtomicOrElse, ViolationsStillRetryPrimary)
+{
+    Machine m(config(HtmConfig::paperLazy(), 1));
+    TxThread t0(m.cpu(0));
+    Addr a = m.memory().allocate(64);
+    int primaryRuns = 0;
+    int altRuns = 0;
+    bool first = true;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        TxOutcome out = co_await t0.atomicOrElse(
+            [&](TxThread& t) -> SimTask {
+                ++primaryRuns;
+                co_await t.ld(a);
+                if (first) {
+                    first = false;
+                    c.htm().raiseViolation(0x1, 0); // violation != abort
+                    co_await t.work(1);
+                }
+                co_await t.st(a, 5);
+            },
+            [&](TxThread& t) -> SimTask {
+                ++altRuns;
+                co_await t.st(a, 99);
+            });
+        EXPECT_TRUE(out.committed());
+    });
+    m.run();
+    EXPECT_EQ(primaryRuns, 2); // retried, not diverted to alt
+    EXPECT_EQ(altRuns, 0);
+    EXPECT_EQ(m.memory().read(a), 5u);
+}
+
+TEST(Backoff, KnobDisablesRetryDelay)
+{
+    // With backoff off, a lazy retry re-enters the body immediately;
+    // both configurations must still be exact.
+    for (bool backoff : {true, false}) {
+        HtmConfig htm = HtmConfig::paperLazy();
+        htm.retryBackoff = backoff;
+        Machine m(config(htm));
+        std::vector<std::unique_ptr<TxThread>> th;
+        for (int i = 0; i < 2; ++i)
+            th.push_back(std::make_unique<TxThread>(m.cpu(i)));
+        Addr a = m.memory().allocate(64);
+        for (int i = 0; i < 2; ++i) {
+            m.spawn(i, [&, i](Cpu&) -> SimTask {
+                TxThread& t = *th[static_cast<size_t>(i)];
+                for (int k = 0; k < 25; ++k) {
+                    co_await t.atomic([&](TxThread& tx) -> SimTask {
+                        Word v = co_await tx.ld(a);
+                        co_await tx.work(12);
+                        co_await tx.st(a, v + 1);
+                    });
+                }
+            });
+        }
+        m.run();
+        EXPECT_EQ(m.memory().read(a), 50u) << "backoff=" << backoff;
+    }
+}
+
+TEST(OpenReductions, Mp3dVerifiesWithCompensation)
+{
+    // Open-nested reduction updates commit immediately; compensation
+    // handlers subtract them again when the enclosing transaction
+    // rolls back — the totals must stay exact despite retries.
+    Mp3dParams p;
+    p.particles = 192;
+    p.openReductions = true;
+    for (int threads : {1, 4, 8}) {
+        Mp3dKernel k(p);
+        RunResult r = runKernel(k, HtmConfig::paperLazy(), threads);
+        EXPECT_TRUE(r.verified) << threads << " threads";
+    }
+}
+
+TEST(OpenReductions, FlattenedBaselineStillVerifies)
+{
+    Mp3dParams p;
+    p.particles = 192;
+    p.openReductions = true;
+    Mp3dKernel k(p);
+    RunResult r = runKernel(k, HtmConfig::flattenedBaseline(), 8);
+    EXPECT_TRUE(r.verified);
+}

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Commit, violation and abort handler semantics (paper 4.2-4.4, 4.6):
+ * registration order, execution order (commit FIFO, violation/abort
+ * LIFO), merging into parents on closed commit, immediate execution on
+ * open commit, discard on rollback, the Continue action, and argument
+ * passing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "runtime/tx_thread.hh"
+
+using namespace tmsim;
+
+namespace {
+
+MachineConfig
+config(int cpus = 2)
+{
+    MachineConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.htm = HtmConfig::paperLazy();
+    cfg.memBytes = 8 * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Handlers, CommitHandlersRunInRegistrationOrderAfterValidate)
+{
+    Machine m(config());
+    TxThread t0(m.cpu(0));
+    std::vector<int> order;
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            for (int i = 0; i < 3; ++i) {
+                co_await t.onCommit(
+                    [&order, i](TxThread&,
+                                const std::vector<Word>&) -> SimTask {
+                        order.push_back(i);
+                        co_return;
+                    });
+            }
+            EXPECT_TRUE(order.empty()); // nothing runs before validate
+        });
+    });
+    m.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Handlers, CommitHandlerRunsBetweenValidateAndCommit)
+{
+    Machine m(config());
+    TxThread t0(m.cpu(0));
+    Addr a = m.memory().allocate(64);
+    bool sawSpeculative = false;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await t.st(a, 77);
+            co_await t.onCommit(
+                [&](TxThread& th, const std::vector<Word>&) -> SimTask {
+                    // Two-phase commit: the handler runs validated but
+                    // uncommitted; memory still holds the old value,
+                    // yet the transaction reads its own write.
+                    EXPECT_EQ(m.memory().read(a), 0u);
+                    EXPECT_EQ(c.htm().top().status, TxStatus::Validated);
+                    Word v = co_await th.cpu().imld(a);
+                    EXPECT_EQ(v, 77u);
+                    sawSpeculative = true;
+                });
+        });
+    });
+    m.run();
+    EXPECT_TRUE(sawSpeculative);
+    EXPECT_EQ(m.memory().read(a), 77u);
+}
+
+TEST(Handlers, CommitHandlersDiscardedOnRollback)
+{
+    Machine m(config());
+    TxThread t0(m.cpu(0));
+    TxThread t1(m.cpu(1));
+    Addr a = m.memory().allocate(64);
+    int handlerRuns = 0;
+    bool first = true;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await t.ld(a);
+            co_await t.onCommit(
+                [&](TxThread&, const std::vector<Word>&) -> SimTask {
+                    ++handlerRuns;
+                    co_return;
+                });
+            if (first) {
+                first = false;
+                // Force a violation: the handler registered in this
+                // attempt must be discarded, not run.
+                c.htm().raiseViolation(0x1, c.htm().lineOf(a));
+            }
+            co_await t.work(1);
+        });
+    });
+    (void)t1;
+    m.run();
+    EXPECT_EQ(handlerRuns, 1); // only the successful attempt's handler
+}
+
+TEST(Handlers, ViolationHandlersRunInReverseOrder)
+{
+    Machine m(config());
+    TxThread t0(m.cpu(0));
+    Addr a = m.memory().allocate(64);
+    std::vector<int> order;
+    bool first = true;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await t.ld(a);
+            if (first) {
+                for (int i = 0; i < 3; ++i) {
+                    co_await t.onViolation(
+                        [&order, i](TxThread&, const ViolationInfo&,
+                                    const std::vector<Word>&)
+                            -> Task<VioAction> {
+                            order.push_back(i);
+                            co_return VioAction::Proceed;
+                        });
+                }
+                first = false;
+                c.htm().raiseViolation(0x1, c.htm().lineOf(a));
+                co_await t.work(1);
+            }
+        });
+    });
+    m.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(Handlers, ViolationHandlerReceivesConflictAddress)
+{
+    Machine m(config());
+    TxThread t0(m.cpu(0));
+    Addr a = m.memory().allocate(64);
+    Addr seen = 0;
+    bool first = true;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await t.ld(a);
+            if (first) {
+                first = false;
+                co_await t.onViolation(
+                    [&](TxThread&, const ViolationInfo& info,
+                        const std::vector<Word>&) -> Task<VioAction> {
+                        seen = info.vaddr;
+                        co_return VioAction::Proceed;
+                    });
+                c.htm().raiseViolation(0x1, c.htm().lineOf(a));
+                co_await t.work(1);
+            }
+        });
+    });
+    m.run();
+    EXPECT_EQ(seen, m.cpu(0).htm().lineOf(a));
+}
+
+TEST(Handlers, ContinueResumesInterruptedTransaction)
+{
+    Machine m(config());
+    TxThread t0(m.cpu(0));
+    Addr a = m.memory().allocate(64);
+    int handlerRuns = 0;
+    int bodyRuns = 0;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        TxOutcome out = co_await t0.atomic([&](TxThread& t) -> SimTask {
+            ++bodyRuns;
+            co_await t.onViolation(
+                [&](TxThread&, const ViolationInfo&,
+                    const std::vector<Word>&) -> Task<VioAction> {
+                    ++handlerRuns;
+                    co_return VioAction::Continue;
+                });
+            co_await t.ld(a);
+            c.htm().raiseViolation(0x1, c.htm().lineOf(a));
+            co_await t.work(10); // delivery point: handler continues
+            co_await t.st(a, 1);
+        });
+        EXPECT_TRUE(out.committed());
+    });
+    m.run();
+    EXPECT_EQ(handlerRuns, 1);
+    EXPECT_EQ(bodyRuns, 1); // never rolled back
+    EXPECT_EQ(m.memory().read(a), 1u);
+}
+
+TEST(Handlers, PendingViolationRedeliveredAfterContinue)
+{
+    // Conflicts arriving while reporting is disabled land in xvpending
+    // and are re-delivered after xvret (paper 4.3/4.6).
+    Machine m(config());
+    TxThread t0(m.cpu(0));
+    Addr a = m.memory().allocate(64);
+    int handlerRuns = 0;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await t.onViolation(
+                [&](TxThread&, const ViolationInfo&,
+                    const std::vector<Word>&) -> Task<VioAction> {
+                    if (++handlerRuns == 1) {
+                        // Simulate a conflict arriving mid-handler.
+                        c.htm().raiseViolation(0x1, c.htm().lineOf(a));
+                        EXPECT_EQ(c.htm().xvpending(), 0x1u);
+                    }
+                    co_return VioAction::Continue;
+                });
+            co_await t.ld(a);
+            c.htm().raiseViolation(0x1, c.htm().lineOf(a));
+            co_await t.work(10);
+        });
+    });
+    m.run();
+    EXPECT_EQ(handlerRuns, 2);
+}
+
+TEST(Handlers, AbortHandlersRunOnXabort)
+{
+    Machine m(config());
+    TxThread t0(m.cpu(0));
+    std::vector<int> order;
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        TxOutcome out = co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await t.onAbort(
+                [&](TxThread&, const std::vector<Word>&) -> SimTask {
+                    order.push_back(1);
+                    co_return;
+                });
+            co_await t.onAbort(
+                [&](TxThread&, const std::vector<Word>&) -> SimTask {
+                    order.push_back(2);
+                    co_return;
+                });
+            co_await t.cpu().xabort(5);
+        });
+        EXPECT_EQ(out.result, TxResult::Aborted);
+    });
+    m.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 1})); // LIFO
+}
+
+TEST(Handlers, AbortHandlersNotRunOnCommit)
+{
+    Machine m(config());
+    TxThread t0(m.cpu(0));
+    int abortRuns = 0;
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await t.onAbort(
+                [&](TxThread&, const std::vector<Word>&) -> SimTask {
+                    ++abortRuns;
+                    co_return;
+                });
+        });
+    });
+    m.run();
+    EXPECT_EQ(abortRuns, 0);
+}
+
+TEST(Handlers, ClosedNestedHandlersMergeIntoParent)
+{
+    // Paper 4.6: at closed-nested commit, the child's handlers merge
+    // with the parent's; the commit handler runs when the OUTERMOST
+    // transaction commits.
+    Machine m(config());
+    TxThread t0(m.cpu(0));
+    std::vector<std::string> order;
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await t.onCommit(
+                [&](TxThread&, const std::vector<Word>&) -> SimTask {
+                    order.push_back("outer");
+                    co_return;
+                });
+            co_await t.atomic([&](TxThread& ti) -> SimTask {
+                co_await ti.onCommit(
+                    [&](TxThread&, const std::vector<Word>&) -> SimTask {
+                        order.push_back("inner");
+                        co_return;
+                    });
+            });
+            // Inner committed (merged); its handler has NOT run yet.
+            EXPECT_TRUE(order.empty());
+        });
+    });
+    m.run();
+    // FIFO across the merged stack: outer registered first.
+    EXPECT_EQ(order, (std::vector<std::string>{"outer", "inner"}));
+}
+
+TEST(Handlers, OpenNestedCommitHandlersRunImmediately)
+{
+    Machine m(config());
+    TxThread t0(m.cpu(0));
+    bool innerRan = false;
+    bool outerStillActive = false;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await t.atomicOpen([&](TxThread& ti) -> SimTask {
+                co_await ti.onCommit(
+                    [&](TxThread&, const std::vector<Word>&) -> SimTask {
+                        innerRan = true;
+                        outerStillActive = c.htm().depth() >= 1;
+                        co_return;
+                    });
+            });
+            EXPECT_TRUE(innerRan); // ran at the open commit, not later
+        });
+    });
+    m.run();
+    EXPECT_TRUE(innerRan);
+    EXPECT_TRUE(outerStillActive);
+}
+
+TEST(Handlers, HandlerArgumentsDeliveredIntact)
+{
+    Machine m(config());
+    TxThread t0(m.cpu(0));
+    std::vector<Word> seen;
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            std::vector<Word> args;
+            args.push_back(10);
+            args.push_back(20);
+            args.push_back(30);
+            co_await t.onCommit(
+                [&](TxThread&, const std::vector<Word>& a) -> SimTask {
+                    seen = a;
+                    co_return;
+                },
+                std::move(args));
+        });
+    });
+    m.run();
+    EXPECT_EQ(seen, (std::vector<Word>{10, 20, 30}));
+}
+
+TEST(Handlers, ViolationHandlersOfRolledBackLevelsAllRun)
+{
+    // A conflict that hits the outer level runs the violation handlers
+    // of every level being rolled back, newest first.
+    Machine m(config());
+    TxThread t0(m.cpu(0));
+    Addr outerAddr = m.memory().allocate(64);
+    std::vector<std::string> order;
+    bool first = true;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await t.ld(outerAddr);
+            if (!first)
+                co_return;
+            co_await t.onViolation(
+                [&](TxThread&, const ViolationInfo&,
+                    const std::vector<Word>&) -> Task<VioAction> {
+                    order.push_back("outer");
+                    co_return VioAction::Proceed;
+                });
+            co_await t.atomic([&](TxThread& ti) -> SimTask {
+                co_await ti.onViolation(
+                    [&](TxThread&, const ViolationInfo&,
+                        const std::vector<Word>&) -> Task<VioAction> {
+                        order.push_back("inner");
+                        co_return VioAction::Proceed;
+                    });
+                if (first) {
+                    first = false;
+                    // Conflict against the OUTER level while the inner
+                    // transaction is active.
+                    c.htm().raiseViolation(0x1, 0);
+                    co_await ti.work(1);
+                }
+            });
+        });
+    });
+    m.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"inner", "outer"}));
+}

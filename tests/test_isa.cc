@@ -1,0 +1,324 @@
+/**
+ * @file
+ * ISA conformance tests against paper tables 1 and 2: register
+ * visibility (xstatus fields, xvaddr, xvcurrent/xvpending), the
+ * xvret/xenviolrep protocol, two-phase commit ordering guarantees, and
+ * instruction-level semantics not covered elsewhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "core/tx_signals.hh"
+#include "runtime/tx_thread.hh"
+
+using namespace tmsim;
+
+namespace {
+
+MachineConfig
+config(HtmConfig htm, int cpus = 2)
+{
+    MachineConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.htm = htm;
+    cfg.memBytes = 4 * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Isa, XstatusTracksTypeStatusAndNestingLevel)
+{
+    Machine m(config(HtmConfig::paperLazy()));
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        EXPECT_FALSE(c.htm().inTx());
+        co_await c.xbegin();
+        EXPECT_EQ(c.htm().depth(), 1);
+        EXPECT_EQ(c.htm().top().kind, TxKind::Closed);
+        EXPECT_EQ(c.htm().top().status, TxStatus::Active);
+        co_await c.xbeginOpen();
+        EXPECT_EQ(c.htm().depth(), 2);
+        EXPECT_EQ(c.htm().top().kind, TxKind::Open);
+        co_await c.xvalidate();
+        EXPECT_EQ(c.htm().top().status, TxStatus::Validated);
+        co_await c.xcommit();
+        EXPECT_EQ(c.htm().depth(), 1);
+        co_await c.xvalidate();
+        co_await c.xcommit();
+        EXPECT_FALSE(c.htm().inTx());
+    });
+    m.run();
+}
+
+TEST(Isa, XvaddrHoldsConflictAddress)
+{
+    Machine m(config(HtmConfig::paperLazy()));
+    Addr a = m.memory().allocate(64);
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await c.xbegin();
+        co_await c.load(a);
+        c.htm().raiseViolation(0x1, c.htm().lineOf(a));
+        EXPECT_EQ(c.htm().xvaddr(), c.htm().lineOf(a));
+        try {
+            co_await c.exec(1);
+        } catch (const TxRollback& r) {
+            EXPECT_EQ(r.vaddr, c.htm().lineOf(a));
+        }
+    });
+    m.run();
+}
+
+TEST(Isa, ReportingDisabledRoutesToPending)
+{
+    Machine m(config(HtmConfig::paperLazy()));
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await c.xbegin();
+        c.htm().setReporting(false);
+        c.htm().raiseViolation(0x1, 0);
+        EXPECT_EQ(c.htm().xvcurrent(), 0u);
+        EXPECT_EQ(c.htm().xvpending(), 0x1u);
+        // xvret (via xvret()) promotes pending into current.
+        bool redeliver = c.xvret();
+        EXPECT_TRUE(redeliver);
+        EXPECT_EQ(c.htm().xvcurrent(), 0x1u);
+        EXPECT_EQ(c.htm().xvpending(), 0u);
+        // Clean up: acknowledge and commit.
+        c.htm().clearCurrentViolations();
+        co_await c.xvalidate();
+        co_await c.xcommit();
+    });
+    m.run();
+}
+
+TEST(Isa, XenviolrepReenablesReporting)
+{
+    Machine m(config(HtmConfig::paperLazy()));
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await c.xbegin();
+        c.htm().setReporting(false);
+        EXPECT_FALSE(c.htm().reportingEnabled());
+        c.xenviolrep();
+        EXPECT_TRUE(c.htm().reportingEnabled());
+        co_await c.xvalidate();
+        co_await c.xcommit();
+    });
+    m.run();
+}
+
+TEST(Isa, ValidatePreventsLaterViolationByPriorAccess)
+{
+    // The xvalidate guarantee: after it completes, no prior memory
+    // access can cause a rollback — a later committer writing our
+    // read-set must order itself after us.
+    Machine m(config(HtmConfig::paperLazy()));
+    Addr a = m.memory().allocate(64);
+    bool committed = false;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await c.xbegin();
+        co_await c.load(a);
+        co_await c.store(a, 1);
+        co_await c.xvalidate();
+        co_await c.exec(2000); // window for cpu1's commit attempt
+        co_await c.xcommit();  // must succeed
+        committed = true;
+    });
+    m.spawn(1, [&](Cpu& c) -> SimTask {
+        co_await c.exec(400);
+        co_await c.xbegin();
+        co_await c.store(a, 2);
+        co_await c.xvalidate(); // stalls on cpu0's pinned line
+        co_await c.xcommit();
+    });
+    m.run();
+    EXPECT_TRUE(committed);
+    EXPECT_EQ(m.stats().value("cpu0.htm.rollbacks"), 0u);
+    EXPECT_EQ(m.memory().read(a), 2u); // cpu1 serialised after cpu0
+}
+
+TEST(Isa, ValidateIsIdempotent)
+{
+    Machine m(config(HtmConfig::paperLazy()));
+    Addr a = m.memory().allocate(64);
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await c.xbegin();
+        co_await c.store(a, 1);
+        co_await c.xvalidate();
+        co_await c.xvalidate(); // second validate is a no-op
+        co_await c.xcommit();
+    });
+    m.run();
+    EXPECT_EQ(m.memory().read(a), 1u);
+}
+
+TEST(Isa, XrwsetclearDiscardsTopSets)
+{
+    Machine m(config(HtmConfig::paperLazy()));
+    Addr a = m.memory().allocate(64);
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await c.xbegin();
+        co_await c.load(a);
+        co_await c.store(a, 5);
+        Addr line = c.htm().lineOf(a);
+        EXPECT_NE(c.htm().levelsReading(line), 0u);
+        EXPECT_NE(c.htm().levelsWriting(line), 0u);
+        co_await c.xrwsetclear();
+        EXPECT_EQ(c.htm().levelsReading(line), 0u);
+        EXPECT_EQ(c.htm().levelsWriting(line), 0u);
+        co_await c.xvalidate();
+        co_await c.xcommit();
+    });
+    m.run();
+    // The discarded write never reached memory.
+    EXPECT_EQ(m.memory().read(a), 0u);
+}
+
+TEST(Isa, CustomViolationProtocolCanContinue)
+{
+    // The raw hook level: software can resume the interrupted
+    // transaction (jump back to xvpc) instead of rolling back.
+    Machine m(config(HtmConfig::paperLazy()));
+    Addr a = m.memory().allocate(64);
+    int delivered = 0;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        c.setViolationProtocol([&](Cpu& cc) -> SimTask {
+            ++delivered;
+            cc.htm().clearCurrentViolations();
+            co_return; // continue
+        });
+        co_await c.xbegin();
+        co_await c.load(a);
+        c.htm().raiseViolation(0x1, c.htm().lineOf(a));
+        co_await c.exec(5); // delivery point: continues
+        co_await c.store(a, 7);
+        co_await c.xvalidate();
+        co_await c.xcommit();
+    });
+    m.run();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(m.memory().read(a), 7u);
+}
+
+TEST(Isa, ImmediateOpsInterleaveWithTrackedOps)
+{
+    Machine m(config(HtmConfig::paperLazy()));
+    Addr tracked = m.memory().allocate(64);
+    Addr priv = m.memory().allocate(64);
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await c.xbegin();
+        co_await c.store(tracked, 1);
+        co_await c.imst(priv, 2);
+        Word t = co_await c.load(tracked);
+        Word p = co_await c.imld(priv);
+        EXPECT_EQ(t, 1u);
+        EXPECT_EQ(p, 2u);
+        co_await c.xvalidate();
+        co_await c.xcommit();
+    });
+    m.run();
+    EXPECT_EQ(m.memory().read(tracked), 1u);
+    EXPECT_EQ(m.memory().read(priv), 2u);
+}
+
+TEST(Isa, ClampStaleViolationMaskAfterMerge)
+{
+    // A violation raised against a child level in the delivery window
+    // of its merge lands on the parent (no lost or stale bits).
+    Machine m(config(HtmConfig::paperLazy()));
+    Addr a = m.memory().allocate(64);
+    bool outerRolled = false;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await c.xbegin();
+        co_await c.xbegin();
+        co_await c.load(a);
+        // Conflict recorded against level 2...
+        c.htm().raiseViolation(0x2, c.htm().lineOf(a));
+        // ...but the child merges before the next delivery point
+        // (possible because delivery happens at instruction
+        // boundaries). HtmContext transfers the bit to the parent.
+        c.htm().commitClosedTop();
+        EXPECT_EQ(c.htm().xvcurrent(), 0x1u);
+        try {
+            co_await c.exec(1);
+        } catch (const TxRollback& r) {
+            EXPECT_EQ(r.targetLevel, 1);
+            outerRolled = true;
+        }
+    });
+    m.run();
+    EXPECT_TRUE(outerRolled);
+}
+
+TEST(Isa, OpenBeyondHardwareDepthIsFatal)
+{
+    auto attempt = [] {
+        HtmConfig htm = HtmConfig::paperLazy();
+        htm.maxHwLevels = 1;
+        Machine m(config(htm, 1));
+        m.spawn(0, [&](Cpu& c) -> SimTask {
+            co_await c.xbegin();
+            co_await c.xbeginOpen(); // cannot subsume an open begin
+        });
+        m.run();
+    };
+    EXPECT_EXIT(attempt(), ::testing::ExitedWithCode(1),
+                "open-nested transaction beyond hardware nesting");
+}
+
+TEST(Isa, SerializedAtomicExcludesOtherSerialized)
+{
+    // The no-transactional-I/O baseline: serialized transactions hold
+    // the global resource for their full duration.
+    Machine m(config(HtmConfig::paperLazy(), 2));
+    Addr a = m.memory().allocate(64);
+    Tick firstDone = 0, secondStart = 0;
+
+    // Use TxThreads since serializedAtomic is a runtime facility.
+    TxThread t0(m.cpu(0));
+    TxThread t1(m.cpu(1));
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await t0.serializedAtomic([&](TxThread& t) -> SimTask {
+            co_await t.work(2000);
+            Word v = co_await t.ld(a);
+            co_await t.st(a, v + 1);
+        });
+        firstDone = c.now();
+    });
+    m.spawn(1, [&](Cpu& c) -> SimTask {
+        co_await c.exec(100);
+        co_await t1.serializedAtomic([&](TxThread& t) -> SimTask {
+            secondStart = t.cpu().now();
+            Word v = co_await t.ld(a);
+            co_await t.st(a, v + 1);
+        });
+    });
+    m.run();
+    EXPECT_GE(secondStart, firstDone); // fully serialized
+    EXPECT_EQ(m.memory().read(a), 2u);
+}
+
+TEST(Isa, MachineRejectsDoubleSpawnOnCpu)
+{
+    auto attempt = [] {
+        Machine m(config(HtmConfig::paperLazy(), 1));
+        m.spawn(0, [](Cpu& c) -> SimTask { co_await c.exec(10); });
+        m.spawn(0, [](Cpu& c) -> SimTask { co_await c.exec(10); });
+        m.run();
+    };
+    EXPECT_EXIT(attempt(), ::testing::ExitedWithCode(1),
+                "already has an active thread");
+}
+
+TEST(Isa, RunStopsAtTickLimit)
+{
+    Machine m(config(HtmConfig::paperLazy(), 1));
+    m.spawn(0, [](Cpu& c) -> SimTask { co_await c.exec(1000000); });
+    Tick end = m.run(5000);
+    EXPECT_EQ(end, 5000u);
+    EXPECT_FALSE(m.allDone());
+    m.run(); // let it finish so teardown is clean
+    EXPECT_TRUE(m.allDone());
+}

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Memory-system unit tests: backing store, cache geometry, cache
+ * presence/LRU/eviction, the transactional line annotations of both
+ * nesting schemes, bus arbitration/occupancy, and FIFO resources.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "sim/task.hh"
+
+using namespace tmsim;
+
+TEST(BackingStore, ReadWriteAndBounds)
+{
+    BackingStore mem(1 << 20);
+    mem.write(64, 0xDEADBEEF);
+    EXPECT_EQ(mem.read(64), 0xDEADBEEFu);
+    EXPECT_EQ(mem.read(72), 0u);
+}
+
+TEST(BackingStore, AllocatorAlignsAndAdvances)
+{
+    BackingStore mem(1 << 20);
+    Addr a = mem.allocate(100, 64);
+    Addr b = mem.allocate(8, 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(CacheGeometry, DerivedParameters)
+{
+    CacheGeometry g{32 * 1024, 32, 4, 1};
+    EXPECT_EQ(g.numSets(), 256);
+    EXPECT_EQ(g.wordsPerLine(), 4);
+    EXPECT_EQ(g.lineAddr(0x1234), 0x1220u);
+    g.validate("test");
+}
+
+namespace {
+
+Cache
+makeCache(NestScheme scheme, StatsRegistry& stats, int assoc = 2,
+          Addr size = 1024)
+{
+    return Cache("test", CacheGeometry{size, 32, assoc, 1}, scheme, 4,
+                 stats);
+}
+
+} // namespace
+
+TEST(Cache, HitMissAndFill)
+{
+    StatsRegistry stats;
+    Cache c = makeCache(NestScheme::Associativity, stats);
+    EXPECT_FALSE(c.lookup(0x100));
+    c.fill(0x100);
+    EXPECT_TRUE(c.lookup(0x100));
+    EXPECT_EQ(stats.value("test.hits"), 1u);
+    EXPECT_EQ(stats.value("test.misses"), 1u);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    StatsRegistry stats;
+    // 1024B / 32B / 2-way = 16 sets; addresses 32*16 apart share a set.
+    Cache c = makeCache(NestScheme::Associativity, stats);
+    const Addr stride = 32 * 16;
+    c.fill(0);
+    c.fill(stride);
+    c.lookup(0); // 0 is now MRU
+    c.fill(2 * stride);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(stride)); // LRU victim
+    EXPECT_EQ(stats.value("test.evictions"), 1u);
+}
+
+TEST(Cache, TransactionalVictimCountsAsOverflow)
+{
+    StatsRegistry stats;
+    Cache c = makeCache(NestScheme::Associativity, stats);
+    const Addr stride = 32 * 16;
+    c.markWrite(0, 1);
+    c.markWrite(stride, 1);
+    EvictInfo e = c.fill(2 * stride);
+    EXPECT_TRUE(e.evicted);
+    EXPECT_TRUE(e.transactional);
+    EXPECT_EQ(stats.value("test.tx_overflows"), 1u);
+}
+
+TEST(Cache, MultiTrackingPerLevelBits)
+{
+    StatsRegistry stats;
+    Cache c = makeCache(NestScheme::MultiTracking, stats);
+    c.markRead(0x100, 1);
+    c.markWrite(0x100, 2);
+    EXPECT_TRUE(c.isRead(0x100, 1));
+    EXPECT_FALSE(c.isRead(0x100, 2));
+    EXPECT_TRUE(c.isWritten(0x100, 2));
+    EXPECT_EQ(c.versionCount(0x100), 1); // single line, multiple bits
+
+    c.mergeLevelDown(2);
+    EXPECT_TRUE(c.isWritten(0x100, 1));
+    EXPECT_FALSE(c.isWritten(0x100, 2));
+
+    c.clearLevel(1);
+    EXPECT_FALSE(c.hasTxMeta(0x100));
+    EXPECT_TRUE(c.contains(0x100));
+}
+
+TEST(Cache, AssociativityVersionReplication)
+{
+    StatsRegistry stats;
+    Cache c = makeCache(NestScheme::Associativity, stats, 4);
+    c.markWrite(0x100, 1);
+    c.markWrite(0x100, 2); // child writes too: new version
+    EXPECT_EQ(c.versionCount(0x100), 2);
+    EXPECT_EQ(stats.value("test.version_replications"), 1u);
+    EXPECT_TRUE(c.isWritten(0x100, 1));
+    EXPECT_TRUE(c.isWritten(0x100, 2));
+
+    // Closed commit merges the child version into the parent's.
+    c.mergeLevelDown(2);
+    EXPECT_EQ(c.versionCount(0x100), 1);
+    EXPECT_TRUE(c.isWritten(0x100, 1));
+}
+
+TEST(Cache, AssociativityRollbackKeepsReadOnlyData)
+{
+    StatsRegistry stats;
+    Cache c = makeCache(NestScheme::Associativity, stats, 4);
+    c.markRead(0x100, 1); // clean read
+    c.markWrite(0x140, 1); // dirty speculative
+    c.clearLevel(1);
+    // Committed (clean) data survives the rollback...
+    EXPECT_TRUE(c.contains(0x100));
+    // ...speculative data does not.
+    EXPECT_FALSE(c.contains(0x140));
+}
+
+TEST(Cache, OpenCommitKeepsDataDropsAnnotations)
+{
+    StatsRegistry stats;
+    Cache c = makeCache(NestScheme::Associativity, stats, 4);
+    c.markWrite(0x100, 2);
+    c.commitOpenLevel(2);
+    EXPECT_TRUE(c.contains(0x100));
+    EXPECT_FALSE(c.hasTxMeta(0x100));
+}
+
+TEST(Cache, InvalidateNonSpecLeavesTxLines)
+{
+    StatsRegistry stats;
+    Cache c = makeCache(NestScheme::Associativity, stats, 4);
+    c.fill(0x100);
+    c.markWrite(0x140, 1);
+    c.invalidateNonSpec(0x100);
+    c.invalidateNonSpec(0x140);
+    EXPECT_FALSE(c.contains(0x100));
+    EXPECT_TRUE(c.contains(0x140)); // speculative copies are immune
+}
+
+TEST(FifoResource, GrantsInOrder)
+{
+    EventQueue eq;
+    FifoResource res(eq);
+    std::vector<int> order;
+
+    auto user = [&](int id, Cycles hold) -> SimTask {
+        co_await res.acquire();
+        order.push_back(id);
+        co_await Delay{eq, hold};
+        res.release();
+    };
+
+    SimTask a = user(1, 10);
+    SimTask b = user(2, 10);
+    SimTask c = user(3, 10);
+    a.start();
+    b.start();
+    c.start();
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(a.done() && b.done() && c.done());
+    EXPECT_FALSE(res.busy());
+}
+
+TEST(Bus, ContentionSerialisesTransfers)
+{
+    EventQueue eq;
+    StatsRegistry stats;
+    Bus bus(eq, BusConfig{}, stats);
+
+    Tick aDone = 0, bDone = 0;
+    auto xfer = [&](Tick& done) -> SimTask {
+        co_await bus.occupy(8);
+        done = eq.curTick();
+    };
+    SimTask a = xfer(aDone);
+    SimTask b = xfer(bDone);
+    a.start();
+    b.start();
+    eq.run();
+    // Second transfer waits for the first: done times differ by at
+    // least the occupancy.
+    EXPECT_GE(bDone, aDone + 8);
+    EXPECT_EQ(stats.value("bus.transfers"), 2u);
+    EXPECT_GE(stats.value("bus.busy_cycles"), 16u);
+}
+
+TEST(Bus, LineFetchOverlapsDramWithOtherTraffic)
+{
+    EventQueue eq;
+    StatsRegistry stats;
+    BusConfig cfg;
+    Bus bus(eq, cfg, stats);
+
+    // Two concurrent line fetches: split transactions overlap the DRAM
+    // latency, so the total is far less than 2x a serial fetch.
+    Tick t0 = 0, t1 = 0;
+    auto fetch = [&](Tick& done) -> SimTask {
+        co_await bus.lineFetch(32);
+        done = eq.curTick();
+    };
+    SimTask a = fetch(t0);
+    SimTask b = fetch(t1);
+    a.start();
+    b.start();
+    eq.run();
+    Tick serialEstimate = 2 * (cfg.arbitrationLatency + 1 +
+                               cfg.memoryLatency + 2);
+    EXPECT_LT(std::max(t0, t1), serialEstimate);
+}

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering and
+ * determinism, coroutine task chaining, exception propagation, wakers,
+ * stats, and the RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+using namespace tmsim;
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 20u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(7, [&, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(1, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 2u);
+}
+
+TEST(EventQueue, RunStopsAtMaxTick)
+{
+    EventQueue eq;
+    bool fired = false;
+    eq.schedule(100, [&] { fired = true; });
+    eq.run(50);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eq.curTick(), 50u);
+    eq.run();
+    EXPECT_TRUE(fired);
+}
+
+namespace {
+
+SimTask
+child(EventQueue& eq, int& counter)
+{
+    co_await Delay{eq, 5};
+    ++counter;
+}
+
+SimTask
+parent(EventQueue& eq, int& counter)
+{
+    co_await child(eq, counter);
+    co_await child(eq, counter);
+    ++counter;
+}
+
+SimTask
+thrower(EventQueue& eq)
+{
+    co_await Delay{eq, 1};
+    throw std::runtime_error("boom");
+}
+
+SimTask
+catcher(EventQueue& eq, bool& caught)
+{
+    try {
+        co_await thrower(eq);
+    } catch (const std::runtime_error&) {
+        caught = true;
+    }
+}
+
+} // namespace
+
+TEST(Task, ChainedChildrenAdvanceTime)
+{
+    EventQueue eq;
+    int counter = 0;
+    SimTask t = parent(eq, counter);
+    t.start();
+    eq.run();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(counter, 3);
+    EXPECT_EQ(eq.curTick(), 10u);
+}
+
+TEST(Task, ExceptionPropagatesThroughAwait)
+{
+    EventQueue eq;
+    bool caught = false;
+    SimTask t = catcher(eq, caught);
+    t.start();
+    eq.run();
+    EXPECT_TRUE(t.done());
+    EXPECT_TRUE(caught);
+}
+
+TEST(Task, ResultRethrowsTopLevelException)
+{
+    EventQueue eq;
+    SimTask t = thrower(eq);
+    t.start();
+    eq.run();
+    ASSERT_TRUE(t.done());
+    EXPECT_THROW(t.result(), std::runtime_error);
+}
+
+namespace {
+
+WordTask
+produceValue(EventQueue& eq)
+{
+    co_await Delay{eq, 3};
+    co_return 42;
+}
+
+WordTask
+consumeValue(EventQueue& eq)
+{
+    Word v = co_await produceValue(eq);
+    co_return v * 2;
+}
+
+} // namespace
+
+TEST(Task, ValueTasksReturnThroughAwait)
+{
+    EventQueue eq;
+    WordTask t = consumeValue(eq);
+    t.start();
+    eq.run();
+    ASSERT_TRUE(t.done());
+    EXPECT_EQ(t.result(), 84u);
+}
+
+namespace {
+
+SimTask
+waiter(Waker& w, int& state)
+{
+    state = 1;
+    co_await WaitOn{w};
+    state = 2;
+}
+
+} // namespace
+
+TEST(Waker, WakeResumesParkedCoroutine)
+{
+    EventQueue eq;
+    Waker w(eq);
+    int state = 0;
+    SimTask t = waiter(w, state);
+    t.start();
+    eq.run();
+    EXPECT_EQ(state, 1);
+    EXPECT_FALSE(t.done());
+    w.wake();
+    eq.run();
+    EXPECT_EQ(state, 2);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Waker, EarlyWakeIsNotLost)
+{
+    EventQueue eq;
+    Waker w(eq);
+    w.wake(); // nobody parked yet
+    int state = 0;
+    SimTask t = waiter(w, state);
+    t.start();
+    eq.run();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(state, 2);
+}
+
+TEST(Stats, CounterRegistryAndPatterns)
+{
+    StatsRegistry stats;
+    stats.counter("cpu0.loads") += 5;
+    stats.counter("cpu1.loads") += 7;
+    stats.counter("cpu0.stores") += 3;
+    EXPECT_EQ(stats.value("cpu0.loads"), 5u);
+    EXPECT_EQ(stats.value("missing"), 0u);
+    EXPECT_EQ(stats.sum("cpu*.loads"), 12u);
+    EXPECT_EQ(stats.sum("cpu0.loads"), 5u);
+    stats.resetAll();
+    EXPECT_EQ(stats.sum("cpu*.loads"), 0u);
+}
+
+TEST(Rng, DeterministicAndBounded)
+{
+    Rng a(123), b(123), c(124);
+    bool allEqual = true, anyDiff = false;
+    for (int i = 0; i < 100; ++i) {
+        auto va = a.next(), vb = b.next(), vc = c.next();
+        allEqual = allEqual && (va == vb);
+        anyDiff = anyDiff || (va != vc);
+    }
+    EXPECT_TRUE(allEqual);
+    EXPECT_TRUE(anyDiff);
+
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.range(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}

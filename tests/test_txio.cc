@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Transactional I/O (paper section 5 / 7.2): buffered output through
+ * commit handlers, input compensation through violation handlers, and
+ * atomicity of log records under concurrency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/machine.hh"
+#include "runtime/tx_io.hh"
+#include "runtime/tx_thread.hh"
+
+using namespace tmsim;
+
+namespace {
+
+MachineConfig
+config(int cpus = 2)
+{
+    MachineConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.htm = HtmConfig::paperLazy();
+    cfg.memBytes = 16 * 1024 * 1024;
+    return cfg;
+}
+
+std::vector<Word>
+record(Word tag, size_t n)
+{
+    std::vector<Word> r;
+    for (size_t i = 0; i < n; ++i)
+        r.push_back(tag * 1000 + i);
+    return r;
+}
+
+} // namespace
+
+TEST(TxIo, WriteOutsideTransactionAppendsImmediately)
+{
+    Machine m(config(1));
+    TxLogDevice log = TxLogDevice::create(m.memory(), 4096);
+    TxIo io(log);
+    TxThread t0(m.cpu(0));
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await io.txWrite(t0, record(1, 3));
+    });
+    m.run();
+    EXPECT_EQ(log.contents(m.memory()),
+              (std::vector<Word>{1000, 1001, 1002}));
+}
+
+TEST(TxIo, WriteInsideTransactionDeferredToCommit)
+{
+    Machine m(config(1));
+    TxLogDevice log = TxLogDevice::create(m.memory(), 4096);
+    TxIo io(log);
+    TxThread t0(m.cpu(0));
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await io.txWrite(t, record(2, 2));
+            // Not yet in the log: buffered privately.
+            EXPECT_EQ(log.length(m.memory()), 0u);
+        });
+        EXPECT_EQ(log.length(m.memory()), 2u);
+    });
+    m.run();
+    EXPECT_EQ(log.contents(m.memory()), (std::vector<Word>{2000, 2001}));
+}
+
+TEST(TxIo, AbortedTransactionWritesNothing)
+{
+    Machine m(config(1));
+    TxLogDevice log = TxLogDevice::create(m.memory(), 4096);
+    TxIo io(log);
+    TxThread t0(m.cpu(0));
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        TxOutcome out = co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await io.txWrite(t, record(3, 2));
+            co_await t.cpu().xabort(1);
+        });
+        EXPECT_EQ(out.result, TxResult::Aborted);
+    });
+    m.run();
+    EXPECT_EQ(log.length(m.memory()), 0u);
+}
+
+TEST(TxIo, ViolatedAttemptWritesOnlyOnce)
+{
+    Machine m(config(1));
+    TxLogDevice log = TxLogDevice::create(m.memory(), 4096);
+    TxIo io(log);
+    TxThread t0(m.cpu(0));
+    bool first = true;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await io.txWrite(t, record(4, 2));
+            if (first) {
+                first = false;
+                c.htm().raiseViolation(0x1, 0);
+                co_await t.work(1);
+            }
+        });
+    });
+    m.run();
+    // The violated attempt's buffered record was discarded with its
+    // commit handler; only the retry's record reached the device.
+    EXPECT_EQ(log.contents(m.memory()), (std::vector<Word>{4000, 4001}));
+}
+
+TEST(TxIo, RecordsFromConcurrentWritersAreAtomicUnits)
+{
+    constexpr int nThreads = 4;
+    constexpr int perThread = 8;
+    constexpr size_t recLen = 4;
+    Machine m(config(nThreads));
+    TxLogDevice log = TxLogDevice::create(m.memory(), 16384);
+    TxIo io(log);
+    std::vector<std::unique_ptr<TxThread>> threads;
+    for (int i = 0; i < nThreads; ++i)
+        threads.push_back(std::make_unique<TxThread>(m.cpu(i)));
+
+    for (int i = 0; i < nThreads; ++i) {
+        m.spawn(i, [&, i](Cpu&) -> SimTask {
+            TxThread& t = *threads[static_cast<size_t>(i)];
+            for (int k = 0; k < perThread; ++k) {
+                co_await t.atomic([&](TxThread& th) -> SimTask {
+                    co_await th.work(50);
+                    co_await io.txWrite(
+                        th, record(static_cast<Word>(i + 1), recLen));
+                });
+            }
+        });
+    }
+    m.run();
+
+    auto words = log.contents(m.memory());
+    ASSERT_EQ(words.size(), nThreads * perThread * recLen);
+    // Every record must appear contiguously (the open-nested append is
+    // atomic), and each thread must have written exactly perThread.
+    std::vector<int> counts(nThreads + 1, 0);
+    for (size_t off = 0; off < words.size(); off += recLen) {
+        Word tag = words[off] / 1000;
+        ASSERT_GE(tag, 1u);
+        ASSERT_LE(tag, static_cast<Word>(nThreads));
+        for (size_t j = 0; j < recLen; ++j)
+            EXPECT_EQ(words[off + j], tag * 1000 + j);
+        ++counts[static_cast<size_t>(tag)];
+    }
+    for (int i = 1; i <= nThreads; ++i)
+        EXPECT_EQ(counts[static_cast<size_t>(i)], perThread);
+}
+
+TEST(TxIo, ReadCompensatedOnViolation)
+{
+    Machine m(config(1));
+    std::vector<Word> contents{100, 101, 102, 103};
+    TxInFile file = TxInFile::create(m.memory(), contents);
+    TxThread t0(m.cpu(0));
+    bool first = true;
+    std::vector<Word> got;
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            Word a = co_await file.txRead(t);
+            Word b = co_await file.txRead(t);
+            if (first) {
+                first = false;
+                // The transaction consumed two words, then rolls back:
+                // compensation must rewind the file position.
+                c.htm().raiseViolation(0x1, 0);
+                co_await t.work(1);
+            }
+            got.push_back(a);
+            got.push_back(b);
+        });
+    });
+    m.run();
+    // The retry re-read the same two words.
+    EXPECT_EQ(got, (std::vector<Word>{100, 101}));
+    EXPECT_EQ(file.position(m.memory()), 2u);
+    EXPECT_EQ(file.compensations(), 2u); // two reads compensated
+}
+
+TEST(TxIo, ReadCompensatedOnAbort)
+{
+    Machine m(config(1));
+    TxInFile file = TxInFile::create(m.memory(), {7, 8, 9});
+    TxThread t0(m.cpu(0));
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        TxOutcome out = co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await file.txRead(t);
+            co_await t.cpu().xabort(1);
+        });
+        EXPECT_EQ(out.result, TxResult::Aborted);
+    });
+    m.run();
+    EXPECT_EQ(file.position(m.memory()), 0u);
+}
+
+TEST(TxIo, CommittedReadKeepsPosition)
+{
+    Machine m(config(1));
+    TxInFile file = TxInFile::create(m.memory(), {7, 8, 9});
+    TxThread t0(m.cpu(0));
+    Word v0 = 0, v1 = 0;
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            v0 = co_await file.txRead(t);
+        });
+        co_await t0.atomic([&](TxThread& t) -> SimTask {
+            v1 = co_await file.txRead(t);
+        });
+    });
+    m.run();
+    EXPECT_EQ(v0, 7u);
+    EXPECT_EQ(v1, 8u);
+    EXPECT_EQ(file.position(m.memory()), 2u);
+    EXPECT_EQ(file.compensations(), 0u);
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * tmsim_run — command-line driver: run any bundled kernel under any
+ * HTM configuration and dump the statistics, gem5-style.
+ *
+ *   tmsim_run --kernel mp3d --cpus 8
+ *   tmsim_run --kernel specjbb-open --cpus 8 --nesting flatten
+ *   tmsim_run --kernel water --conflict eager --version undolog \
+ *             --policy older --stats
+ *   tmsim_run --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "sim/logging.hh"
+#include "workloads/kernel_condsync.hh"
+#include "workloads/kernel_iobench.hh"
+#include "workloads/kernel_mp3d.hh"
+#include "workloads/kernel_specjbb.hh"
+#include "workloads/kernels_scientific.hh"
+
+using namespace tmsim;
+
+namespace {
+
+const char* const kernelNames[] = {
+    "barnes",         "fmm",           "moldyn",
+    "mp3d",           "mp3d-open",     "swim",
+    "tomcatv",        "water",         "specjbb-flat",
+    "specjbb-closed", "specjbb-open",  "specjbb-hybrid", "iobench-tx",
+    "iobench-serialized", "condsync-sched", "condsync-poll",
+};
+
+std::unique_ptr<Kernel>
+makeKernel(const std::string& name)
+{
+    if (name == "barnes")
+        return std::make_unique<SciKernel>(sciBarnes());
+    if (name == "fmm")
+        return std::make_unique<SciKernel>(sciFmm());
+    if (name == "moldyn")
+        return std::make_unique<SciKernel>(sciMoldyn());
+    if (name == "mp3d")
+        return std::make_unique<Mp3dKernel>();
+    if (name == "mp3d-open") {
+        Mp3dParams p;
+        p.openReductions = true;
+        return std::make_unique<Mp3dKernel>(p);
+    }
+    if (name == "swim")
+        return std::make_unique<SciKernel>(sciSwim());
+    if (name == "tomcatv")
+        return std::make_unique<SciKernel>(sciTomcatv());
+    if (name == "water")
+        return std::make_unique<SciKernel>(sciWater());
+    if (name == "specjbb-flat")
+        return std::make_unique<SpecJbbKernel>(JbbVariant::Flat);
+    if (name == "specjbb-closed")
+        return std::make_unique<SpecJbbKernel>(JbbVariant::ClosedNested);
+    if (name == "specjbb-open")
+        return std::make_unique<SpecJbbKernel>(JbbVariant::OpenNested);
+    if (name == "specjbb-hybrid")
+        return std::make_unique<SpecJbbKernel>(JbbVariant::Hybrid);
+    if (name == "iobench-tx" || name == "iobench-serialized") {
+        IoBenchParams p;
+        p.transactional = name == "iobench-tx";
+        return std::make_unique<IoBenchKernel>(p);
+    }
+    if (name == "condsync-sched" || name == "condsync-poll") {
+        CondSyncParams p;
+        p.useScheduler = name == "condsync-sched";
+        return std::make_unique<CondSyncKernel>(p);
+    }
+    return nullptr;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: tmsim_run --kernel NAME [options]\n"
+        "  --kernel NAME        workload (see --list)\n"
+        "  --cpus N             CPUs / threads (default 8)\n"
+        "  --version wb|undolog speculative versioning\n"
+        "  --conflict lazy|eager\n"
+        "  --policy requester|older   (eager resolution)\n"
+        "  --nesting full|flatten\n"
+        "  --scheme assoc|multitrack  (cache nesting scheme)\n"
+        "  --granularity line|word    (conflict tracking)\n"
+        "  --no-backoff         disable retry backoff\n"
+        "  --stats              dump every counter after the run\n"
+        "  --list               list kernels\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string kernelName;
+    int cpus = 8;
+    HtmConfig htm = HtmConfig::paperLazy();
+    bool dumpStats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--kernel") {
+            kernelName = next();
+        } else if (arg == "--cpus") {
+            cpus = std::atoi(next().c_str());
+        } else if (arg == "--version") {
+            std::string v = next();
+            htm.version = v == "undolog" ? VersionMode::UndoLog
+                                         : VersionMode::WriteBuffer;
+            if (htm.version == VersionMode::UndoLog)
+                htm.conflict = ConflictMode::Eager;
+        } else if (arg == "--conflict") {
+            htm.conflict = next() == "eager" ? ConflictMode::Eager
+                                             : ConflictMode::Lazy;
+        } else if (arg == "--policy") {
+            htm.policy = next() == "older" ? ConflictPolicy::OlderWins
+                                           : ConflictPolicy::RequesterWins;
+        } else if (arg == "--nesting") {
+            htm.nesting = next() == "flatten" ? NestingMode::Flatten
+                                              : NestingMode::Full;
+        } else if (arg == "--scheme") {
+            htm.scheme = next() == "multitrack"
+                             ? NestScheme::MultiTracking
+                             : NestScheme::Associativity;
+        } else if (arg == "--granularity") {
+            htm.granularity = next() == "word" ? TrackGranularity::Word
+                                               : TrackGranularity::Line;
+        } else if (arg == "--no-backoff") {
+            htm.retryBackoff = false;
+        } else if (arg == "--stats") {
+            dumpStats = true;
+        } else if (arg == "--list") {
+            for (const char* n : kernelNames)
+                std::printf("%s\n", n);
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (kernelName.empty()) {
+        usage();
+        return 2;
+    }
+    auto kernel = makeKernel(kernelName);
+    if (!kernel)
+        fatal("unknown kernel '%s' (try --list)", kernelName.c_str());
+    if (cpus < 1 || cpus > 64)
+        fatal("--cpus must be in [1, 64]");
+
+    setQuiet(true);
+
+    MachineConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.htm = htm;
+    Machine m(cfg);
+    kernel->init(m, cpus);
+
+    std::vector<std::unique_ptr<TxThread>> threads;
+    for (int i = 0; i < cpus; ++i)
+        threads.push_back(std::make_unique<TxThread>(m.cpu(i)));
+    for (int i = 0; i < cpus; ++i) {
+        Kernel* k = kernel.get();
+        TxThread* t = threads[static_cast<size_t>(i)].get();
+        m.spawn(i, [k, t, i, cpus](Cpu&) -> SimTask {
+            co_await k->thread(*t, i, cpus);
+        });
+    }
+
+    Tick cycles = m.run();
+    bool verified = kernel->verify(m, cpus);
+
+    std::uint64_t instr = 0;
+    for (int i = 0; i < cpus; ++i)
+        instr += m.cpu(i).instret();
+
+    std::printf("kernel       %s\n", kernelName.c_str());
+    std::printf("htm          %s%s\n", htm.describe().c_str(),
+                htm.granularity == TrackGranularity::Word ? "/word" : "");
+    std::printf("cpus         %d\n", cpus);
+    std::printf("cycles       %llu\n",
+                static_cast<unsigned long long>(cycles));
+    std::printf("instructions %llu\n",
+                static_cast<unsigned long long>(instr));
+    std::printf("commits      %llu\n",
+                static_cast<unsigned long long>(
+                    m.stats().sum("cpu*.htm.commits") +
+                    m.stats().sum("cpu*.htm.open_commits")));
+    std::printf("rollbacks    %llu (outer %llu, inner %llu)\n",
+                static_cast<unsigned long long>(
+                    m.stats().sum("cpu*.htm.rollbacks")),
+                static_cast<unsigned long long>(
+                    m.stats().sum("cpu*.rollbacks_outer")),
+                static_cast<unsigned long long>(
+                    m.stats().sum("cpu*.rollbacks_inner")));
+    std::printf("bus busy     %llu cycles\n",
+                static_cast<unsigned long long>(
+                    m.stats().value("bus.busy_cycles")));
+    std::printf("verified     %s\n", verified ? "yes" : "NO");
+
+    if (dumpStats) {
+        std::printf("---- stats ----\n");
+        m.stats().dump(std::cout);
+    }
+    return verified ? 0 : 1;
+}
