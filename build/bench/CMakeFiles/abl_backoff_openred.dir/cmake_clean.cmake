@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_backoff_openred.dir/abl_backoff_openred.cc.o"
+  "CMakeFiles/abl_backoff_openred.dir/abl_backoff_openred.cc.o.d"
+  "abl_backoff_openred"
+  "abl_backoff_openred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_backoff_openred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

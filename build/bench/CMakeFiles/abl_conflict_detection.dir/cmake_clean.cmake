@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_conflict_detection.dir/abl_conflict_detection.cc.o"
+  "CMakeFiles/abl_conflict_detection.dir/abl_conflict_detection.cc.o.d"
+  "abl_conflict_detection"
+  "abl_conflict_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_conflict_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_immediate_ops.dir/abl_immediate_ops.cc.o"
+  "CMakeFiles/abl_immediate_ops.dir/abl_immediate_ops.cc.o.d"
+  "abl_immediate_ops"
+  "abl_immediate_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_immediate_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_nesting_scheme.dir/abl_nesting_scheme.cc.o"
+  "CMakeFiles/abl_nesting_scheme.dir/abl_nesting_scheme.cc.o.d"
+  "abl_nesting_scheme"
+  "abl_nesting_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_nesting_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_track_granularity.dir/abl_track_granularity.cc.o"
+  "CMakeFiles/abl_track_granularity.dir/abl_track_granularity.cc.o.d"
+  "abl_track_granularity"
+  "abl_track_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_track_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_nesting.dir/fig5_nesting.cc.o"
+  "CMakeFiles/fig5_nesting.dir/fig5_nesting.cc.o.d"
+  "fig5_nesting"
+  "fig5_nesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_nesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

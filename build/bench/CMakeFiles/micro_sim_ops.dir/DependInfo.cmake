@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_sim_ops.cc" "bench/CMakeFiles/micro_sim_ops.dir/micro_sim_ops.cc.o" "gcc" "bench/CMakeFiles/micro_sim_ops.dir/micro_sim_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmsim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmsim_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

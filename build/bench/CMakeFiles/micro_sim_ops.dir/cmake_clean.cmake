@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sim_ops.dir/micro_sim_ops.cc.o"
+  "CMakeFiles/micro_sim_ops.dir/micro_sim_ops.cc.o.d"
+  "micro_sim_ops"
+  "micro_sim_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

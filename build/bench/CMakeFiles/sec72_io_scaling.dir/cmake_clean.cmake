@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec72_io_scaling.dir/sec72_io_scaling.cc.o"
+  "CMakeFiles/sec72_io_scaling.dir/sec72_io_scaling.cc.o.d"
+  "sec72_io_scaling"
+  "sec72_io_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec72_io_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_overheads.dir/tbl_overheads.cc.o"
+  "CMakeFiles/tbl_overheads.dir/tbl_overheads.cc.o.d"
+  "tbl_overheads"
+  "tbl_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txio_logger.dir/txio_logger.cpp.o"
+  "CMakeFiles/txio_logger.dir/txio_logger.cpp.o.d"
+  "txio_logger"
+  "txio_logger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txio_logger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

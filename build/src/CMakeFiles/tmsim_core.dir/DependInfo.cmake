@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cpu.cc" "src/CMakeFiles/tmsim_core.dir/core/cpu.cc.o" "gcc" "src/CMakeFiles/tmsim_core.dir/core/cpu.cc.o.d"
+  "/root/repo/src/core/machine.cc" "src/CMakeFiles/tmsim_core.dir/core/machine.cc.o" "gcc" "src/CMakeFiles/tmsim_core.dir/core/machine.cc.o.d"
+  "/root/repo/src/core/mem_system.cc" "src/CMakeFiles/tmsim_core.dir/core/mem_system.cc.o" "gcc" "src/CMakeFiles/tmsim_core.dir/core/mem_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmsim_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

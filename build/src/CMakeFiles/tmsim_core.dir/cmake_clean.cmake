@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim_core.dir/core/cpu.cc.o"
+  "CMakeFiles/tmsim_core.dir/core/cpu.cc.o.d"
+  "CMakeFiles/tmsim_core.dir/core/machine.cc.o"
+  "CMakeFiles/tmsim_core.dir/core/machine.cc.o.d"
+  "CMakeFiles/tmsim_core.dir/core/mem_system.cc.o"
+  "CMakeFiles/tmsim_core.dir/core/mem_system.cc.o.d"
+  "libtmsim_core.a"
+  "libtmsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htm/conflict_detector.cc" "src/CMakeFiles/tmsim_htm.dir/htm/conflict_detector.cc.o" "gcc" "src/CMakeFiles/tmsim_htm.dir/htm/conflict_detector.cc.o.d"
+  "/root/repo/src/htm/htm_config.cc" "src/CMakeFiles/tmsim_htm.dir/htm/htm_config.cc.o" "gcc" "src/CMakeFiles/tmsim_htm.dir/htm/htm_config.cc.o.d"
+  "/root/repo/src/htm/htm_context.cc" "src/CMakeFiles/tmsim_htm.dir/htm/htm_context.cc.o" "gcc" "src/CMakeFiles/tmsim_htm.dir/htm/htm_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

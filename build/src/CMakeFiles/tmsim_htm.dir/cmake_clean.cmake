@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim_htm.dir/htm/conflict_detector.cc.o"
+  "CMakeFiles/tmsim_htm.dir/htm/conflict_detector.cc.o.d"
+  "CMakeFiles/tmsim_htm.dir/htm/htm_config.cc.o"
+  "CMakeFiles/tmsim_htm.dir/htm/htm_config.cc.o.d"
+  "CMakeFiles/tmsim_htm.dir/htm/htm_context.cc.o"
+  "CMakeFiles/tmsim_htm.dir/htm/htm_context.cc.o.d"
+  "libtmsim_htm.a"
+  "libtmsim_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim_mem.dir/mem/backing_store.cc.o"
+  "CMakeFiles/tmsim_mem.dir/mem/backing_store.cc.o.d"
+  "CMakeFiles/tmsim_mem.dir/mem/bus.cc.o"
+  "CMakeFiles/tmsim_mem.dir/mem/bus.cc.o.d"
+  "CMakeFiles/tmsim_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/tmsim_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/tmsim_mem.dir/mem/cache_geometry.cc.o"
+  "CMakeFiles/tmsim_mem.dir/mem/cache_geometry.cc.o.d"
+  "libtmsim_mem.a"
+  "libtmsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/cond_sched.cc" "src/CMakeFiles/tmsim_runtime.dir/runtime/cond_sched.cc.o" "gcc" "src/CMakeFiles/tmsim_runtime.dir/runtime/cond_sched.cc.o.d"
+  "/root/repo/src/runtime/thread_area.cc" "src/CMakeFiles/tmsim_runtime.dir/runtime/thread_area.cc.o" "gcc" "src/CMakeFiles/tmsim_runtime.dir/runtime/thread_area.cc.o.d"
+  "/root/repo/src/runtime/tx_alloc.cc" "src/CMakeFiles/tmsim_runtime.dir/runtime/tx_alloc.cc.o" "gcc" "src/CMakeFiles/tmsim_runtime.dir/runtime/tx_alloc.cc.o.d"
+  "/root/repo/src/runtime/tx_io.cc" "src/CMakeFiles/tmsim_runtime.dir/runtime/tx_io.cc.o" "gcc" "src/CMakeFiles/tmsim_runtime.dir/runtime/tx_io.cc.o.d"
+  "/root/repo/src/runtime/tx_thread.cc" "src/CMakeFiles/tmsim_runtime.dir/runtime/tx_thread.cc.o" "gcc" "src/CMakeFiles/tmsim_runtime.dir/runtime/tx_thread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmsim_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

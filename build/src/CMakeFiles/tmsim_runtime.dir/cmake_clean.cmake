@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim_runtime.dir/runtime/cond_sched.cc.o"
+  "CMakeFiles/tmsim_runtime.dir/runtime/cond_sched.cc.o.d"
+  "CMakeFiles/tmsim_runtime.dir/runtime/thread_area.cc.o"
+  "CMakeFiles/tmsim_runtime.dir/runtime/thread_area.cc.o.d"
+  "CMakeFiles/tmsim_runtime.dir/runtime/tx_alloc.cc.o"
+  "CMakeFiles/tmsim_runtime.dir/runtime/tx_alloc.cc.o.d"
+  "CMakeFiles/tmsim_runtime.dir/runtime/tx_io.cc.o"
+  "CMakeFiles/tmsim_runtime.dir/runtime/tx_io.cc.o.d"
+  "CMakeFiles/tmsim_runtime.dir/runtime/tx_thread.cc.o"
+  "CMakeFiles/tmsim_runtime.dir/runtime/tx_thread.cc.o.d"
+  "libtmsim_runtime.a"
+  "libtmsim_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

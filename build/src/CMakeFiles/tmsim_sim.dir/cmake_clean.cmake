@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/tmsim_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/tmsim_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/tmsim_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/tmsim_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/tmsim_sim.dir/sim/stats.cc.o.d"
+  "libtmsim_sim.a"
+  "libtmsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/btree.cc" "src/CMakeFiles/tmsim_workloads.dir/workloads/btree.cc.o" "gcc" "src/CMakeFiles/tmsim_workloads.dir/workloads/btree.cc.o.d"
+  "/root/repo/src/workloads/harness.cc" "src/CMakeFiles/tmsim_workloads.dir/workloads/harness.cc.o" "gcc" "src/CMakeFiles/tmsim_workloads.dir/workloads/harness.cc.o.d"
+  "/root/repo/src/workloads/kernel_condsync.cc" "src/CMakeFiles/tmsim_workloads.dir/workloads/kernel_condsync.cc.o" "gcc" "src/CMakeFiles/tmsim_workloads.dir/workloads/kernel_condsync.cc.o.d"
+  "/root/repo/src/workloads/kernel_iobench.cc" "src/CMakeFiles/tmsim_workloads.dir/workloads/kernel_iobench.cc.o" "gcc" "src/CMakeFiles/tmsim_workloads.dir/workloads/kernel_iobench.cc.o.d"
+  "/root/repo/src/workloads/kernel_mp3d.cc" "src/CMakeFiles/tmsim_workloads.dir/workloads/kernel_mp3d.cc.o" "gcc" "src/CMakeFiles/tmsim_workloads.dir/workloads/kernel_mp3d.cc.o.d"
+  "/root/repo/src/workloads/kernel_specjbb.cc" "src/CMakeFiles/tmsim_workloads.dir/workloads/kernel_specjbb.cc.o" "gcc" "src/CMakeFiles/tmsim_workloads.dir/workloads/kernel_specjbb.cc.o.d"
+  "/root/repo/src/workloads/kernels_scientific.cc" "src/CMakeFiles/tmsim_workloads.dir/workloads/kernels_scientific.cc.o" "gcc" "src/CMakeFiles/tmsim_workloads.dir/workloads/kernels_scientific.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmsim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmsim_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim_workloads.dir/workloads/btree.cc.o"
+  "CMakeFiles/tmsim_workloads.dir/workloads/btree.cc.o.d"
+  "CMakeFiles/tmsim_workloads.dir/workloads/harness.cc.o"
+  "CMakeFiles/tmsim_workloads.dir/workloads/harness.cc.o.d"
+  "CMakeFiles/tmsim_workloads.dir/workloads/kernel_condsync.cc.o"
+  "CMakeFiles/tmsim_workloads.dir/workloads/kernel_condsync.cc.o.d"
+  "CMakeFiles/tmsim_workloads.dir/workloads/kernel_iobench.cc.o"
+  "CMakeFiles/tmsim_workloads.dir/workloads/kernel_iobench.cc.o.d"
+  "CMakeFiles/tmsim_workloads.dir/workloads/kernel_mp3d.cc.o"
+  "CMakeFiles/tmsim_workloads.dir/workloads/kernel_mp3d.cc.o.d"
+  "CMakeFiles/tmsim_workloads.dir/workloads/kernel_specjbb.cc.o"
+  "CMakeFiles/tmsim_workloads.dir/workloads/kernel_specjbb.cc.o.d"
+  "CMakeFiles/tmsim_workloads.dir/workloads/kernels_scientific.cc.o"
+  "CMakeFiles/tmsim_workloads.dir/workloads/kernels_scientific.cc.o.d"
+  "libtmsim_workloads.a"
+  "libtmsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

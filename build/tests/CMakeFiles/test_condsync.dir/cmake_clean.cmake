@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_condsync.dir/test_condsync.cc.o"
+  "CMakeFiles/test_condsync.dir/test_condsync.cc.o.d"
+  "test_condsync"
+  "test_condsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_condsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_handlers.dir/test_handlers.cc.o"
+  "CMakeFiles/test_handlers.dir/test_handlers.cc.o.d"
+  "test_handlers"
+  "test_handlers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_handlers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

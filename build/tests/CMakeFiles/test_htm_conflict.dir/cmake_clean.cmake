@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_htm_conflict.dir/test_htm_conflict.cc.o"
+  "CMakeFiles/test_htm_conflict.dir/test_htm_conflict.cc.o.d"
+  "test_htm_conflict"
+  "test_htm_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_htm_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

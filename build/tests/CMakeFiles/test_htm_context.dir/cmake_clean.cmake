@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_htm_context.dir/test_htm_context.cc.o"
+  "CMakeFiles/test_htm_context.dir/test_htm_context.cc.o.d"
+  "test_htm_context"
+  "test_htm_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_htm_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_htm_single.dir/test_htm_single.cc.o"
+  "CMakeFiles/test_htm_single.dir/test_htm_single.cc.o.d"
+  "test_htm_single"
+  "test_htm_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_htm_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

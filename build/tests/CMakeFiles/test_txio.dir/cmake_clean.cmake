@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_txio.dir/test_txio.cc.o"
+  "CMakeFiles/test_txio.dir/test_txio.cc.o.d"
+  "test_txio"
+  "test_txio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_txio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

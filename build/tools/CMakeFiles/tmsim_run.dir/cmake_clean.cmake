@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim_run.dir/tmsim_run.cc.o"
+  "CMakeFiles/tmsim_run.dir/tmsim_run.cc.o.d"
+  "tmsim_run"
+  "tmsim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
