@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Ablation A8: cost of conflict detection as CPU count and write-set
+ * size grow. Exercises the detector's hot queries directly — lazy
+ * validate-time write-set broadcast, eager access-time checks, and
+ * strong-atomicity scans for non-transactional stores — plus an
+ * end-to-end contended-transaction throughput run.
+ *
+ * The sharer-index/signature optimisation turns these from
+ * O(lines x CPUs x depth) scans into O(actual sharers) lookups; this
+ * benchmark is the before/after evidence (BENCH_conflict_index.json).
+ *
+ * Set layout per victim CPU: `privLines` private read lines plus
+ * `kHotLines` hot lines read by everybody. The committer/requester
+ * touches mostly-private lines, so almost every probed line has no
+ * remote sharers — the common case a broadcast still had to pay a
+ * full per-CPU scan for.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/machine.hh"
+#include "runtime/tx_thread.hh"
+#include "sim/logging.hh"
+
+using namespace tmsim;
+
+namespace {
+
+constexpr int kHotLines = 4;
+
+MachineConfig
+config(int cpus, HtmConfig htm)
+{
+    MachineConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.htm = htm;
+    cfg.memBytes = 8ull * 1024 * 1024;
+    return cfg;
+}
+
+struct Rig
+{
+    std::unique_ptr<Machine> m;
+    Addr hotBase = 0;
+    Addr privBase = 0;
+    Addr lineBytes = 32;
+
+    Addr hot(int i) const { return hotBase + static_cast<Addr>(i) * lineBytes; }
+
+    Addr
+    priv(int cpu, int i) const
+    {
+        return privBase +
+               (static_cast<Addr>(cpu) * 4096 + static_cast<Addr>(i)) *
+                   lineBytes;
+    }
+};
+
+/**
+ * Build a machine where every CPU except 0 sits mid-transaction with a
+ * populated read-set (private lines + the hot lines) and a small
+ * private write-set. CPU 0 is the committer/requester under test.
+ */
+Rig
+makeRig(int cpus, HtmConfig htm, int privLines)
+{
+    Rig r;
+    r.m = std::make_unique<Machine>(config(cpus, htm));
+    r.lineBytes = r.m->config().l1.lineBytes;
+    r.hotBase = r.m->memory().allocate(kHotLines * r.lineBytes);
+    r.privBase =
+        r.m->memory().allocate(static_cast<Addr>(cpus) * 4096 * r.lineBytes);
+    for (int c = 1; c < cpus; ++c) {
+        HtmContext& ctx = r.m->cpu(c).htm();
+        ctx.begin(TxKind::Closed, static_cast<Tick>(c));
+        for (int i = 0; i < privLines; ++i)
+            ctx.specRead(r.priv(c, i));
+        for (int i = 0; i < kHotLines; ++i)
+            ctx.specRead(r.hot(i));
+        for (int i = 0; i < 8; ++i)
+            ctx.specWrite(r.priv(c, privLines + i), 1);
+    }
+    return r;
+}
+
+/**
+ * Lazy conflict-heavy commit: the committer validates a write-set of
+ * `wset` lines (one hot line, the rest private) against `cpus - 1`
+ * active readers. Pre-change cost: wset x cpus context scans.
+ */
+void
+BM_LazyBroadcast(benchmark::State& state)
+{
+    setQuiet(true);
+    const int cpus = static_cast<int>(state.range(0));
+    const int wset = static_cast<int>(state.range(1));
+    Rig r = makeRig(cpus, HtmConfig::paperLazy(), 64);
+
+    HtmContext& committer = r.m->cpu(0).htm();
+    committer.begin(TxKind::Closed, 0);
+    std::vector<Addr> lines;
+    lines.push_back(r.hot(0));
+    for (int i = 1; i < wset; ++i)
+        lines.push_back(r.priv(0, i));
+
+    ConflictDetector& det = r.m->memSystem().detector();
+    for (auto _ : state) {
+        Cycles pen = det.broadcastWriteSet(committer, lines);
+        benchmark::DoNotOptimize(pen);
+    }
+    state.SetItemsProcessed(state.iterations() * wset);
+}
+
+/**
+ * Eager access-time checks: the requester probes `wset` mostly-private
+ * units for read access (hot units are read-shared, so nothing is
+ * violated — this is the steady-state no-conflict cost every access
+ * pays under eager detection).
+ */
+void
+BM_EagerCheck(benchmark::State& state)
+{
+    setQuiet(true);
+    const int cpus = static_cast<int>(state.range(0));
+    const int wset = static_cast<int>(state.range(1));
+    Rig r = makeRig(cpus, HtmConfig::eagerUndoLog(), 64);
+
+    HtmContext& req = r.m->cpu(0).htm();
+    req.begin(TxKind::Closed, 0);
+    std::vector<Addr> units;
+    units.push_back(req.trackUnit(r.hot(0)));
+    for (int i = 1; i < wset; ++i)
+        units.push_back(req.trackUnit(r.priv(0, i)));
+
+    ConflictDetector& det = r.m->memSystem().detector();
+    for (auto _ : state) {
+        for (Addr u : units) {
+            auto v = det.eagerCheck(req, u, false);
+            benchmark::DoNotOptimize(v);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * wset);
+}
+
+/**
+ * Strong atomicity: a non-transactional CPU stores to lines no
+ * transaction touches; every store still had to scan all contexts.
+ */
+void
+BM_NonTxStoreScan(benchmark::State& state)
+{
+    setQuiet(true);
+    const int cpus = static_cast<int>(state.range(0));
+    Rig r = makeRig(cpus, HtmConfig::paperLazy(), 64);
+    ConflictDetector& det = r.m->memSystem().detector();
+
+    std::vector<Addr> units;
+    for (int i = 0; i < 64; ++i)
+        units.push_back(r.priv(0, i));
+
+    for (auto _ : state) {
+        for (Addr u : units)
+            det.nonTxStore(0, u);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+
+/**
+ * End-to-end: every CPU runs transactions that read the hot lines and
+ * update private counters, so each commit broadcast confronts the full
+ * sharer population. Simulated-transactions per host-second.
+ */
+void
+BM_TxThroughputE2E(benchmark::State& state)
+{
+    setQuiet(true);
+    const int cpus = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Machine m(config(cpus, HtmConfig::paperLazy()));
+        std::vector<std::unique_ptr<TxThread>> threads;
+        for (int i = 0; i < cpus; ++i)
+            threads.push_back(std::make_unique<TxThread>(m.cpu(i)));
+        Addr hot = m.memory().allocate(kHotLines * 32);
+        Addr priv = m.memory().allocate(static_cast<Addr>(cpus) * 1024);
+        for (int i = 0; i < cpus; ++i) {
+            m.spawn(i, [&, i](Cpu&) -> SimTask {
+                TxThread& t = *threads[static_cast<size_t>(i)];
+                Addr mine = priv + static_cast<Addr>(i) * 1024;
+                for (int k = 0; k < 20; ++k) {
+                    co_await t.atomic([&](TxThread& tx) -> SimTask {
+                        Word h = co_await tx.ld(hot);
+                        for (int j = 0; j < 12; ++j) {
+                            Word v = co_await tx.ld(mine + 8 * j);
+                            co_await tx.st(mine + 8 * j, v + h + 1);
+                        }
+                    });
+                }
+            });
+        }
+        m.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 20 * cpus);
+}
+
+} // namespace
+
+BENCHMARK(BM_LazyBroadcast)
+    ->ArgsProduct({{1, 2, 4, 8, 16}, {16, 256}})
+    ->ArgNames({"cpus", "wset"});
+BENCHMARK(BM_EagerCheck)
+    ->ArgsProduct({{1, 2, 4, 8, 16}, {16, 256}})
+    ->ArgNames({"cpus", "wset"});
+BENCHMARK(BM_NonTxStoreScan)->Arg(1)->Arg(4)->Arg(16)->ArgName("cpus");
+BENCHMARK(BM_TxThroughputE2E)
+    ->Arg(2)->Arg(8)->Arg(16)
+    ->ArgName("cpus")
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -19,11 +19,11 @@ using namespace tmsim;
 namespace {
 
 MachineConfig
-config(int cpus)
+config(int cpus, HtmConfig htm = HtmConfig::paperLazy())
 {
     MachineConfig cfg;
     cfg.numCpus = cpus;
-    cfg.htm = HtmConfig::paperLazy();
+    cfg.htm = htm;
     cfg.memBytes = 8ull * 1024 * 1024; // keep construction cheap
     return cfg;
 }
@@ -118,6 +118,60 @@ BM_ContendedCounter8(benchmark::State& state)
 }
 
 void
+BM_ContendedCounter16(benchmark::State& state)
+{
+    setQuiet(true);
+    for (auto _ : state) {
+        Machine m(config(16));
+        std::vector<std::unique_ptr<TxThread>> threads;
+        for (int i = 0; i < 16; ++i)
+            threads.push_back(std::make_unique<TxThread>(m.cpu(i)));
+        Addr a = m.memory().allocate(64);
+        for (int i = 0; i < 16; ++i) {
+            m.spawn(i, [&, i](Cpu&) -> SimTask {
+                TxThread& t = *threads[static_cast<size_t>(i)];
+                for (int k = 0; k < 10; ++k) {
+                    co_await t.atomic([&](TxThread& tx) -> SimTask {
+                        Word v = co_await tx.ld(a);
+                        co_await tx.work(10);
+                        co_await tx.st(a, v + 1);
+                    });
+                }
+            });
+        }
+        m.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 160);
+}
+
+void
+BM_EagerContendedCounter8(benchmark::State& state)
+{
+    setQuiet(true);
+    for (auto _ : state) {
+        Machine m(config(8, HtmConfig::eagerUndoLog()));
+        std::vector<std::unique_ptr<TxThread>> threads;
+        for (int i = 0; i < 8; ++i)
+            threads.push_back(std::make_unique<TxThread>(m.cpu(i)));
+        Addr a = m.memory().allocate(64);
+        for (int i = 0; i < 8; ++i) {
+            m.spawn(i, [&, i](Cpu&) -> SimTask {
+                TxThread& t = *threads[static_cast<size_t>(i)];
+                for (int k = 0; k < 20; ++k) {
+                    co_await t.atomic([&](TxThread& tx) -> SimTask {
+                        Word v = co_await tx.ld(a);
+                        co_await tx.work(10);
+                        co_await tx.st(a, v + 1);
+                    });
+                }
+            });
+        }
+        m.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 160);
+}
+
+void
 BM_MachineConstruction(benchmark::State& state)
 {
     setQuiet(true);
@@ -133,6 +187,8 @@ BENCHMARK(BM_PlainLoadStore)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TransactionCommit)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NestedTransaction)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ContendedCounter8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ContendedCounter16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EagerContendedCounter8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MachineConstruction)->Arg(1)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 

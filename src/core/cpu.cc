@@ -297,7 +297,7 @@ Cpu::xvalidate()
             ctx.setReporting(true);
         if (ctx.deliverable())
             co_await deliverViolations();
-        std::vector<Addr> lines = ctx.topWriteLines();
+        const std::vector<Addr>& lines = ctx.topWriteLines();
         if (lines.empty()) {
             // Read-only transaction: nothing to broadcast or pin.
             ctx.setTopValidated();
@@ -368,7 +368,7 @@ Cpu::xcommit()
     if (ctx.top().status != TxStatus::Validated)
         fatal("xcommit without a preceding xvalidate");
 
-    std::vector<Addr> lines = ctx.topWriteLines();
+    const std::vector<Addr>& lines = ctx.topWriteLines();
     Cycles cost = ctx.commitTopToMemory();
     for (Addr unit : lines)
         memSys.commitInvalidate(cpuId, ctx.lineOf(unit));
@@ -389,11 +389,7 @@ Cpu::xrwsetclear()
     co_await Delay{eq, 1};
     if (!ctx.inTx())
         fatal("xrwsetclear outside a transaction");
-    TxLevel& t = ctx.top();
-    t.readLines.clear();
-    t.writeLines.clear();
-    t.writeBuffer.clear();
-    t.writtenWords.clear();
+    ctx.clearTopSets();
     ctx.clearViolationBits(ctx.depth());
 }
 

@@ -1,5 +1,7 @@
 #include "htm/conflict_detector.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace tmsim {
@@ -12,14 +14,112 @@ ConflictDetector::ConflictDetector(EventQueue& eq_, StatsRegistry& stats)
       statSelfViolations(stats.counter("htm.self_violations")),
       statLockStalls(stats.counter("htm.lock_stalls")),
       statStrongAtomicityViolations(
-          stats.counter("htm.strong_atomicity_violations"))
+          stats.counter("htm.strong_atomicity_violations")),
+      statSigFiltered(stats.counter("htm.sig_filtered")),
+      statIndexHits(stats.counter("htm.index_hits")),
+      statSigFalsePositives(stats.counter("htm.sig_false_positives"))
 {
 }
 
 void
 ConflictDetector::addContext(HtmContext* ctx)
 {
+    if (!ctxs.empty()) {
+        const HtmConfig& first = ctxs.front()->config();
+        if (ctx->config().granularity != first.granularity ||
+            ctx->lineBytes() != ctxs.front()->lineBytes()) {
+            panic("sharer index requires a uniform conflict-tracking "
+                  "granularity and line size across contexts");
+        }
+    }
     ctxs.push_back(ctx);
+    ctx->setSharerListener(this);
+}
+
+void
+ConflictDetector::onSharerUpdate(HtmContext* ctx, Addr unit,
+                                 std::uint32_t readers,
+                                 std::uint32_t writers)
+{
+    if (readers | writers) {
+        SharerEntry& e = sharerIndex[unit];
+        auto it = std::lower_bound(
+            e.sharers.begin(), e.sharers.end(), ctx->cpuId(),
+            [](const SharerSlot& s, CpuId id) { return s.ctx->cpuId() < id; });
+        if (it != e.sharers.end() && it->ctx == ctx) {
+            it->readers = readers;
+            it->writers = writers;
+        } else {
+            e.sharers.insert(it, SharerSlot{ctx, readers, writers});
+        }
+        if (readers)
+            globalReadSig.add(unit);
+        if (writers)
+            globalWriteSig.add(unit);
+        return;
+    }
+    auto mit = sharerIndex.find(unit);
+    if (mit == sharerIndex.end())
+        return;
+    auto& sharers = mit->second.sharers;
+    for (auto it = sharers.begin(); it != sharers.end(); ++it) {
+        if (it->ctx == ctx) {
+            sharers.erase(it);
+            break;
+        }
+    }
+    if (sharers.empty()) {
+        sharerIndex.erase(mit);
+        if (sharerIndex.empty()) {
+            // Exact rebuild point: nobody shares anything, so every
+            // stale signature bit can be dropped at once.
+            globalReadSig.clear();
+            globalWriteSig.clear();
+        }
+    }
+}
+
+const ConflictDetector::SharerEntry*
+ConflictDetector::lookupSharers(Addr unit, bool need_readers,
+                                bool need_writers) const
+{
+    const bool mayRead = need_readers && globalReadSig.mayContain(unit);
+    const bool mayWrite = need_writers && globalWriteSig.mayContain(unit);
+    if (!mayRead && !mayWrite) {
+        ++statSigFiltered;
+        return nullptr;
+    }
+    auto it = sharerIndex.find(unit);
+    if (it == sharerIndex.end()) {
+        ++statSigFalsePositives;
+        return nullptr;
+    }
+    ++statIndexHits;
+    return &it->second;
+}
+
+std::uint32_t
+ConflictDetector::indexedReaders(const HtmContext& ctx, Addr unit) const
+{
+    auto it = sharerIndex.find(unit);
+    if (it == sharerIndex.end())
+        return 0;
+    for (const SharerSlot& s : it->second.sharers)
+        if (s.ctx == &ctx)
+            return s.readers;
+    return 0;
+}
+
+std::uint32_t
+ConflictDetector::indexedWriters(const HtmContext& ctx, Addr unit) const
+{
+    auto it = sharerIndex.find(unit);
+    if (it == sharerIndex.end())
+        return 0;
+    for (const SharerSlot& s : it->second.sharers)
+        if (s.ctx == &ctx)
+            return s.writers;
+    return 0;
 }
 
 Cycles
@@ -28,15 +128,18 @@ ConflictDetector::broadcastWriteSet(HtmContext& committer,
 {
     statBroadcastLines += lines.size();
     for (Addr line : lines) {
-        for (HtmContext* ctx : ctxs) {
+        const SharerEntry* e = lookupSharers(line, true, false);
+        if (!e)
+            continue;
+        for (const SharerSlot& s : e->sharers) {
+            HtmContext* ctx = s.ctx;
             if (ctx == &committer || !ctx->inTx())
                 continue;
             // Only readers are violated: a write-write overlap without
             // a read is serialisable (the later committer's values
             // simply supersede), and word-granular data application
             // keeps disjoint words of a shared line intact.
-            std::uint32_t mask = ctx->levelsReading(line);
-            mask &= ~ctx->validatedLevels();
+            std::uint32_t mask = s.readers & ~ctx->validatedLevels();
             if (mask) {
                 ++statLazyViolations;
                 ctx->raiseViolation(mask, line);
@@ -104,23 +207,30 @@ ConflictDetector::anyLockedByOther(const HtmContext& me,
 SimTask
 ConflictDetector::waitUnlocked(const HtmContext& me, Addr line)
 {
-    while (lockedByOther(me, line)) {
-        ++statLockStalls;
+    if (!lockedByOther(me, line))
+        co_return;
+    // One stall event per initial park, however many spurious re-wakes
+    // the unlock/relock races deliver before the line is really free.
+    ++statLockStalls;
+    while (lockedByOther(me, line))
         co_await LockWait{*this, line};
-    }
 }
 
 ConflictDetector::Verdict
 ConflictDetector::eagerCheck(HtmContext& requester, Addr line,
                              bool is_write)
 {
-    for (HtmContext* ctx : ctxs) {
+    const SharerEntry* e = lookupSharers(line, is_write, true);
+    if (!e)
+        return Verdict::Proceed;
+    for (const SharerSlot& s : e->sharers) {
+        HtmContext* ctx = s.ctx;
         if (ctx == &requester || !ctx->inTx())
             continue;
-        std::uint32_t writerMask = ctx->levelsWriting(line);
+        std::uint32_t writerMask = s.writers;
         std::uint32_t mask = writerMask;
         if (is_write)
-            mask |= ctx->levelsReading(line);
+            mask |= s.readers;
         if (!mask)
             continue;
         ++statEagerConflicts;
@@ -164,12 +274,15 @@ ConflictDetector::eagerCheck(HtmContext& requester, Addr line,
 void
 ConflictDetector::nonTxStore(CpuId cpu, Addr line)
 {
-    for (HtmContext* ctx : ctxs) {
+    const SharerEntry* e = lookupSharers(line, true, true);
+    if (!e)
+        return;
+    for (const SharerSlot& s : e->sharers) {
+        HtmContext* ctx = s.ctx;
         if (ctx->cpuId() == cpu || !ctx->inTx())
             continue;
-        std::uint32_t mask =
-            ctx->levelsReading(line) | ctx->levelsWriting(line);
-        mask &= ~ctx->validatedLevels();
+        std::uint32_t mask = (s.readers | s.writers) &
+                             ~ctx->validatedLevels();
         if (mask) {
             ++statStrongAtomicityViolations;
             ctx->raiseViolation(mask, line);
@@ -184,12 +297,20 @@ ConflictDetector::resolveNonTxLoad(CpuId cpu, Addr word_addr,
     // Strong atomicity for loads under in-place (undo-log) versioning:
     // a non-transactional reader must observe the committed value, not
     // a speculative write sitting in memory. The oldest undo entry
-    // holds exactly that value.
-    for (const HtmContext* ctx : ctxs) {
-        if (ctx->cpuId() == cpu)
+    // holds exactly that value. An in-place writer necessarily holds
+    // the word's track unit in its write-set, so the sharer index
+    // narrows the scan to the unit's writers.
+    if (ctxs.empty())
+        return mem_value;
+    const SharerEntry* e =
+        lookupSharers(ctxs.front()->trackUnit(word_addr), false, true);
+    if (!e)
+        return mem_value;
+    for (const SharerSlot& s : e->sharers) {
+        if (s.ctx->cpuId() == cpu || !s.writers)
             continue;
-        if (ctx->wroteWordInPlace(word_addr))
-            return ctx->oldestUndoValue(word_addr);
+        if (s.ctx->wroteWordInPlace(word_addr))
+            return s.ctx->oldestUndoValue(word_addr);
     }
     return mem_value;
 }
@@ -201,14 +322,15 @@ ConflictDetector::patchInPlaceWriters(CpuId cpu, Addr line_addr,
     // Strong atomicity for stores over in-place speculative data: the
     // violated writer's eventual rollback must restore OUR value, and
     // its read/write sets were already violated via nonTxStore().
-    for (HtmContext* ctx : ctxs) {
-        if (ctx->cpuId() == cpu)
+    const SharerEntry* e = lookupSharers(line_addr, false, true);
+    if (!e)
+        return;
+    for (const SharerSlot& s : e->sharers) {
+        HtmContext* ctx = s.ctx;
+        if (ctx->cpuId() == cpu || !s.writers)
             continue;
-        if (ctx->config().version == VersionMode::UndoLog &&
-            ctx->inTx() &&
-            (ctx->levelsWriting(line_addr) != 0)) {
+        if (ctx->config().version == VersionMode::UndoLog && ctx->inTx())
             ctx->patchUndoEntries(word_addr, value);
-        }
     }
 }
 

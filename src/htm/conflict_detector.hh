@@ -11,6 +11,12 @@
  *    older-wins resolution.
  *
  * Also provides strong atomicity for non-transactional stores.
+ *
+ * Conflict queries are served from an inverted sharer index
+ * (track-unit -> per-CPU reader/writer level-masks, kept in sync via
+ * SharerIndexListener callbacks from every context) fronted by
+ * chip-wide Bloom signatures, so each query costs O(actual sharers)
+ * instead of O(all contexts x nesting depth).
  */
 
 #ifndef TMSIM_HTM_CONFLICT_DETECTOR_HH
@@ -21,20 +27,28 @@
 #include <vector>
 
 #include "htm/htm_context.hh"
+#include "htm/signature.hh"
 #include "sim/stats.hh"
 #include "sim/task.hh"
 
 namespace tmsim {
 
-class ConflictDetector
+class ConflictDetector : public SharerIndexListener
 {
   public:
     ConflictDetector(EventQueue& eq, StatsRegistry& stats);
 
-    /** Register a per-CPU context (called by the Machine at build). */
+    /** Register a per-CPU context (called by the Machine at build).
+     *  Contexts must share conflict-tracking granularity and line
+     *  size; they register this detector as their sharer listener. */
     void addContext(HtmContext* ctx);
 
     size_t numContexts() const { return ctxs.size(); }
+
+    /** SharerIndexListener: a context's aggregate masks for @p unit
+     *  changed; mirror them into the inverted index. */
+    void onSharerUpdate(HtmContext* ctx, Addr unit, std::uint32_t readers,
+                        std::uint32_t writers) override;
 
     // --- lazy protocol ---
 
@@ -113,7 +127,39 @@ class ConflictDetector
     /** Extra conflict-check latency due to overflowed contexts. */
     Cycles overflowPenalty() const;
 
+    // --- sharer-index test hooks ---
+
+    /** Reader/writer level-mask the index records for (@p ctx, @p unit);
+     *  must equal the context's brute-force per-level scan. */
+    std::uint32_t indexedReaders(const HtmContext& ctx, Addr unit) const;
+    std::uint32_t indexedWriters(const HtmContext& ctx, Addr unit) const;
+
+    /** Number of units with at least one sharer (tests/stats). */
+    size_t indexedUnitCount() const { return sharerIndex.size(); }
+
   private:
+    /** One context's membership in a unit's sharer list. Entries stay
+     *  sorted by CPU id so query iteration order matches the
+     *  pre-index full scan exactly. */
+    struct SharerSlot
+    {
+        HtmContext* ctx;
+        std::uint32_t readers;
+        std::uint32_t writers;
+    };
+
+    struct SharerEntry
+    {
+        std::vector<SharerSlot> sharers;
+    };
+
+    /**
+     * Signature-then-index probe: returns the sharer list for @p unit,
+     * or nullptr when no context can be reading (if @p need_readers)
+     * or writing (if @p need_writers) it. Counts the filter stats.
+     */
+    const SharerEntry* lookupSharers(Addr unit, bool need_readers,
+                                     bool need_writers) const;
     struct LockWait
     {
         ConflictDetector& det;
@@ -145,12 +191,26 @@ class ConflictDetector
     std::unordered_map<Addr, std::vector<std::coroutine_handle<>>>
         lockWaiters;
 
+    /** The inverted index: track-unit -> contexts whose sets contain
+     *  it, with their per-level reader/writer masks. */
+    std::unordered_map<Addr, SharerEntry> sharerIndex;
+
+    /** Union Bloom signatures over all indexed units; first-line
+     *  filter before any index probe. Stale bits (sets shrank) only
+     *  cause false positives; both are rebuilt-from-empty whenever the
+     *  index empties out. */
+    TxSignature globalReadSig;
+    TxSignature globalWriteSig;
+
     StatsRegistry::Counter& statBroadcastLines;
     StatsRegistry::Counter& statLazyViolations;
     StatsRegistry::Counter& statEagerConflicts;
     StatsRegistry::Counter& statSelfViolations;
     StatsRegistry::Counter& statLockStalls;
     StatsRegistry::Counter& statStrongAtomicityViolations;
+    StatsRegistry::Counter& statSigFiltered;
+    StatsRegistry::Counter& statIndexHits;
+    StatsRegistry::Counter& statSigFalsePositives;
 };
 
 } // namespace tmsim

@@ -20,7 +20,9 @@ HtmContext::HtmContext(CpuId id_, const HtmConfig& cfg_, BackingStore& mem_,
       statRollbacks(stats.counter(strfmt("cpu%d.htm.rollbacks", id_))),
       statViolationsRaised(
           stats.counter(strfmt("cpu%d.htm.violations", id_))),
-      statSubsumed(stats.counter(strfmt("cpu%d.htm.subsumed_begins", id_)))
+      statSubsumed(stats.counter(strfmt("cpu%d.htm.subsumed_begins", id_))),
+      statSigFiltered(stats.counter("htm.sig_filtered")),
+      statSigFalsePositives(stats.counter("htm.sig_false_positives"))
 {
     if (cfg.version == VersionMode::UndoLog &&
         cfg.conflict == ConflictMode::Lazy) {
@@ -105,7 +107,9 @@ HtmContext::specRead(Addr addr)
     if (!inTx())
         panic("specRead outside a transaction");
     Word value = readVisible(addr);
-    top().readLines.insert(trackUnit(addr));
+    Addr unit = trackUnit(addr);
+    if (top().readLines.insert(unit).second)
+        noteReadInsert(unit);
     Addr line = lineOf(addr);
     if (l1)
         l1->markRead(line, depth());
@@ -124,9 +128,15 @@ HtmContext::specWrite(Addr addr, Word value)
     } else {
         pushUndo(addr);
         mem.write(addr, value);
-        top().writtenWords.insert(addr);
+        if (top().writtenWords.insert(addr).second) {
+            // Cover the in-place word in the write signature so
+            // wroteWordInPlace() gets the same fast-negative filter.
+            writeSig.add(sigEpoch, addr);
+        }
     }
-    top().writeLines.insert(trackUnit(addr));
+    Addr unit = trackUnit(addr);
+    if (top().writeLines.insert(unit).second)
+        noteWriteInsert(unit);
     Addr line = lineOf(addr);
     if (l1)
         l1->markWrite(line, depth());
@@ -159,11 +169,133 @@ HtmContext::releaseLine(Addr addr)
 {
     if (!inTx())
         return;
-    top().readLines.erase(trackUnit(addr));
+    Addr unit = trackUnit(addr);
+    if (top().readLines.erase(unit))
+        noteReadErase(unit);
+}
+
+void
+HtmContext::notifySharer(Addr unit)
+{
+    if (sharerListener)
+        sharerListener->onSharerUpdate(this, unit, readersOf(unit),
+                                       writersOf(unit));
+}
+
+void
+HtmContext::noteReadInsert(Addr unit)
+{
+    std::uint32_t& m = aggReaders[unit];
+    m |= 1u << (depth() - 1);
+    readSig.add(sigEpoch, unit);
+    if (sharerListener)
+        sharerListener->onSharerUpdate(this, unit, m, writersOf(unit));
+}
+
+void
+HtmContext::noteWriteInsert(Addr unit)
+{
+    std::uint32_t& m = aggWriters[unit];
+    m |= 1u << (depth() - 1);
+    writeSig.add(sigEpoch, unit);
+    if (sharerListener)
+        sharerListener->onSharerUpdate(this, unit, readersOf(unit), m);
+}
+
+void
+HtmContext::noteReadErase(Addr unit)
+{
+    auto it = aggReaders.find(unit);
+    if (it == aggReaders.end())
+        panic("read-aggregate missing unit 0x%llx",
+              static_cast<unsigned long long>(unit));
+    it->second &= ~(1u << (depth() - 1));
+    if (it->second == 0)
+        aggReaders.erase(it);
+    // The signature keeps the stale bit (false positives only).
+    notifySharer(unit);
+}
+
+void
+HtmContext::dropLevelFromAggregates(int lvl)
+{
+    const TxLevel& t = levels[static_cast<size_t>(lvl - 1)];
+    const std::uint32_t bit = 1u << (lvl - 1);
+    for (Addr unit : t.readLines) {
+        auto it = aggReaders.find(unit);
+        it->second &= ~bit;
+        if (it->second == 0)
+            aggReaders.erase(it);
+        notifySharer(unit);
+    }
+    for (Addr unit : t.writeLines) {
+        auto it = aggWriters.find(unit);
+        it->second &= ~bit;
+        if (it->second == 0)
+            aggWriters.erase(it);
+        notifySharer(unit);
+    }
+}
+
+void
+HtmContext::mergeChildAggregates(const TxLevel& child, int child_level)
+{
+    const std::uint32_t childBit = 1u << (child_level - 1);
+    const std::uint32_t parentBit = childBit >> 1;
+    for (Addr unit : child.readLines) {
+        std::uint32_t& m = aggReaders[unit];
+        m = (m & ~childBit) | parentBit;
+        notifySharer(unit);
+    }
+    for (Addr unit : child.writeLines) {
+        std::uint32_t& m = aggWriters[unit];
+        m = (m & ~childBit) | parentBit;
+        notifySharer(unit);
+    }
+}
+
+void
+HtmContext::onAllLevelsGone()
+{
+    overflowLines = 0;
+    validatedMask = 0;
+    // Lazy signature clear: both sets are provably empty here, so a
+    // new epoch invalidates every stale bit at once.
+    ++sigEpoch;
 }
 
 std::uint32_t
 HtmContext::levelsReading(Addr line) const
+{
+    if (!readSig.mayContain(sigEpoch, line)) {
+        ++statSigFiltered;
+        return 0;
+    }
+    auto it = aggReaders.find(line);
+    if (it == aggReaders.end()) {
+        ++statSigFalsePositives;
+        return 0;
+    }
+    return it->second;
+}
+
+std::uint32_t
+HtmContext::levelsWriting(Addr line) const
+{
+    if (!writeSig.mayContain(sigEpoch, line)) {
+        ++statSigFiltered;
+        return 0;
+    }
+    auto it = aggWriters.find(line);
+    if (it == aggWriters.end()) {
+        ++statSigFalsePositives;
+        return 0;
+    }
+    return it->second;
+}
+
+std::uint32_t
+HtmContext::levelsReadingScan(Addr line) const
 {
     std::uint32_t mask = 0;
     for (size_t i = 0; i < levels.size(); ++i)
@@ -173,7 +305,7 @@ HtmContext::levelsReading(Addr line) const
 }
 
 std::uint32_t
-HtmContext::levelsWriting(Addr line) const
+HtmContext::levelsWritingScan(Addr line) const
 {
     std::uint32_t mask = 0;
     for (size_t i = 0; i < levels.size(); ++i)
@@ -183,7 +315,7 @@ HtmContext::levelsWriting(Addr line) const
 }
 
 std::uint32_t
-HtmContext::validatedLevels() const
+HtmContext::validatedLevelsScan() const
 {
     std::uint32_t mask = 0;
     for (size_t i = 0; i < levels.size(); ++i)
@@ -197,6 +329,10 @@ HtmContext::wroteWordInPlace(Addr word_addr) const
 {
     if (cfg.version != VersionMode::UndoLog || !inTx())
         return false;
+    if (!writeSig.mayContain(sigEpoch, word_addr)) {
+        ++statSigFiltered;
+        return false;
+    }
     for (const auto& lvl : levels)
         if (lvl.writtenWords.count(word_addr))
             return true;
@@ -227,26 +363,42 @@ HtmContext::setTopValidated()
     if (!inTx())
         panic("setTopValidated outside a transaction");
     top().status = TxStatus::Validated;
+    validatedMask |= 1u << (depth() - 1);
 }
 
-std::vector<Addr>
+const std::vector<Addr>&
 HtmContext::topWriteLines() const
 {
     const auto& lines = top().writeLines;
-    return std::vector<Addr>(lines.begin(), lines.end());
+    scratchLines.clear();
+    scratchLines.reserve(lines.size());
+    scratchLines.assign(lines.begin(), lines.end());
+    return scratchLines;
 }
 
-std::vector<std::pair<Addr, Word>>
+const std::vector<std::pair<Addr, Word>>&
 HtmContext::topWrittenWords() const
 {
-    std::vector<std::pair<Addr, Word>> words;
+    scratchWords.clear();
     if (cfg.version == VersionMode::WriteBuffer) {
-        words.assign(top().writeBuffer.begin(), top().writeBuffer.end());
+        scratchWords.reserve(top().writeBuffer.size());
+        scratchWords.assign(top().writeBuffer.begin(),
+                            top().writeBuffer.end());
     } else {
+        scratchWords.reserve(top().writtenWords.size());
         for (Addr w : top().writtenWords)
-            words.emplace_back(w, mem.read(w));
+            scratchWords.emplace_back(w, mem.read(w));
     }
-    return words;
+    return scratchWords;
+}
+
+void
+HtmContext::clearTopSets()
+{
+    if (!inTx())
+        panic("clearTopSets outside a transaction");
+    dropLevelFromAggregates(depth());
+    top().clearSets();
 }
 
 Cycles
@@ -254,6 +406,7 @@ HtmContext::commitClosedTop()
 {
     if (depth() < 2)
         panic("commitClosedTop at depth %d", depth());
+    const int childLevelNum = depth();
     TxLevel child = std::move(levels.back());
     levels.pop_back();
     TxLevel& parent = levels.back();
@@ -261,6 +414,9 @@ HtmContext::commitClosedTop()
     parent.readLines.insert(child.readLines.begin(), child.readLines.end());
     parent.writeLines.insert(child.writeLines.begin(),
                              child.writeLines.end());
+    mergeChildAggregates(child, childLevelNum);
+    // The popped child level's Validated bit (if any) no longer exists.
+    validatedMask &= ~(1u << (childLevelNum - 1));
     for (const auto& [word, value] : child.writeBuffer)
         parent.writeBuffer[word] = value;
     parent.writtenWords.insert(child.writtenWords.begin(),
@@ -350,9 +506,11 @@ HtmContext::popCommittedTop()
     if (l2)
         l2->commitOpenLevel(lvl);
     clearViolationBits(lvl);
+    dropLevelFromAggregates(lvl);
+    validatedMask &= ~(1u << (lvl - 1));
     levels.pop_back();
     if (levels.empty())
-        overflowLines = 0;
+        onAllLevelsGone();
 }
 
 void
@@ -374,11 +532,13 @@ HtmContext::rollbackTo(int target)
         if (l2)
             l2->clearLevel(lvl);
         clearViolationBits(lvl);
+        dropLevelFromAggregates(lvl);
+        validatedMask &= ~(1u << (lvl - 1));
         levels.pop_back();
         ++statRollbacks;
     }
     if (levels.empty())
-        overflowLines = 0;
+        onAllLevelsGone();
 }
 
 void
@@ -460,13 +620,21 @@ HtmContext::pushUndo(Addr word_addr)
 void
 HtmContext::resetAll()
 {
+    if (sharerListener) {
+        for (const auto& [unit, mask] : aggReaders)
+            sharerListener->onSharerUpdate(this, unit, 0, 0);
+        for (const auto& [unit, mask] : aggWriters)
+            sharerListener->onSharerUpdate(this, unit, 0, 0);
+    }
+    aggReaders.clear();
+    aggWriters.clear();
     levels.clear();
     undoLog.clear();
     vcurrent = 0;
     vpending = 0;
     vaddr = invalidAddr;
     reporting = true;
-    overflowLines = 0;
+    onAllLevelsGone();
     if (l1)
         l1->clearAllTx();
     if (l2)

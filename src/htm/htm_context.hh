@@ -11,9 +11,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "htm/htm_config.hh"
+#include "htm/signature.hh"
 #include "htm/tx_level.hh"
 #include "mem/backing_store.hh"
 #include "mem/cache.hh"
@@ -107,7 +109,11 @@ class HtmContext
     /** release: drop a line from the current level's read-set. */
     void releaseLine(Addr addr);
 
-    // --- set queries (line addresses), used by conflict detection ---
+    // --- set queries (track-unit addresses), used by conflict detection ---
+    //
+    // Answered from incrementally maintained per-context aggregates: a
+    // Bloom signature gives a one-word fast-negative, then a single
+    // unit -> level-mask map probe replaces the per-level scan.
 
     /** Bitmask of levels (bit level-1) whose read-set contains @p line. */
     std::uint32_t levelsReading(Addr line) const;
@@ -116,7 +122,19 @@ class HtmContext
     std::uint32_t levelsWriting(Addr line) const;
 
     /** Bitmask of levels whose status is Validated. */
-    std::uint32_t validatedLevels() const;
+    std::uint32_t validatedLevels() const { return validatedMask; }
+
+    /** Brute-force reference implementations of the three queries
+     *  above (per-level hash probes). The aggregates must agree with
+     *  these after every operation; the randomized property test
+     *  asserts it. */
+    std::uint32_t levelsReadingScan(Addr line) const;
+    std::uint32_t levelsWritingScan(Addr line) const;
+    std::uint32_t validatedLevelsScan() const;
+
+    /** Register the chip-wide sharer-index maintainer (the
+     *  ConflictDetector); it is notified on every aggregate change. */
+    void setSharerListener(SharerIndexListener* l) { sharerListener = l; }
 
     /** UndoLog mode: this context has an uncommitted in-place write of
      *  @p word_addr. */
@@ -135,11 +153,18 @@ class HtmContext
 
     void setTopValidated();
 
-    /** Lines in the top level's write-set (broadcast / locking). */
-    std::vector<Addr> topWriteLines() const;
+    /** Lines in the top level's write-set (broadcast / locking). The
+     *  returned reference is a per-context scratch buffer, valid until
+     *  the next call on this context. */
+    const std::vector<Addr>& topWriteLines() const;
 
-    /** Words written by the top level, with their current values. */
-    std::vector<std::pair<Addr, Word>> topWrittenWords() const;
+    /** Words written by the top level, with their current values. Same
+     *  scratch-buffer lifetime as topWriteLines(). */
+    const std::vector<std::pair<Addr, Word>>& topWrittenWords() const;
+
+    /** Discard the top level's read/write-set and speculative data
+     *  (xrwsetclear), keeping the aggregates and sharer index in sync. */
+    void clearTopSets();
 
     /**
      * Closed-nested commit: merge the top level into its parent.
@@ -233,6 +258,44 @@ class HtmContext
 
     void pushUndo(Addr word_addr);
 
+    // --- aggregate / signature / sharer-index maintenance ---
+    //
+    // Every mutation of a level's read/write-set funnels through these
+    // so the unit -> level-mask aggregates, the Bloom signatures and
+    // the detector's inverted index stay equal to a brute-force scan.
+
+    std::uint32_t
+    readersOf(Addr unit) const
+    {
+        auto it = aggReaders.find(unit);
+        return it == aggReaders.end() ? 0 : it->second;
+    }
+
+    std::uint32_t
+    writersOf(Addr unit) const
+    {
+        auto it = aggWriters.find(unit);
+        return it == aggWriters.end() ? 0 : it->second;
+    }
+
+    void notifySharer(Addr unit);
+    void noteReadInsert(Addr unit);
+    void noteWriteInsert(Addr unit);
+    void noteReadErase(Addr unit);
+
+    /** Remove level @p lvl's bit from the aggregates of every unit in
+     *  its sets (pop, rollback, xrwsetclear). */
+    void dropLevelFromAggregates(int lvl);
+
+    /** Rewrite aggregates when a closed-nested child merges into its
+     *  parent (child bit moves down one level). */
+    void mergeChildAggregates(const TxLevel& child, int child_level);
+
+    /** Called whenever the context leaves its outermost transaction:
+     *  all sets are empty, so the signatures can be invalidated
+     *  wholesale (lazy clear via epoch bump). */
+    void onAllLevelsGone();
+
     CpuId id;
     HtmConfig cfg;
     BackingStore& mem;
@@ -242,6 +305,28 @@ class HtmContext
 
     std::vector<TxLevel> levels;
     std::vector<UndoEntry> undoLog;
+
+    /** Track-unit -> bitmask of levels reading/writing it; the union of
+     *  the per-level sets, maintained incrementally. */
+    std::unordered_map<Addr, std::uint32_t> aggReaders;
+    std::unordered_map<Addr, std::uint32_t> aggWriters;
+
+    /** Bloom filters over the aggregates (write signature also covers
+     *  in-place written words under undo-log versioning). Invalidated
+     *  by epoch bump when the context leaves all transactions. */
+    EpochSignature readSig;
+    EpochSignature writeSig;
+    std::uint64_t sigEpoch = 1;
+
+    /** Cached validatedLevels() mask. */
+    std::uint32_t validatedMask = 0;
+
+    SharerIndexListener* sharerListener = nullptr;
+
+    /** Scratch buffers reused by topWriteLines/topWrittenWords so the
+     *  commit path does not allocate per transaction. */
+    mutable std::vector<Addr> scratchLines;
+    mutable std::vector<std::pair<Addr, Word>> scratchWords;
 
     // Violation registers.
     std::uint32_t vcurrent = 0;
@@ -258,6 +343,10 @@ class HtmContext
     StatsRegistry::Counter& statRollbacks;
     StatsRegistry::Counter& statViolationsRaised;
     StatsRegistry::Counter& statSubsumed;
+
+    /** Chip-wide (shared-name) signature filter stats. */
+    StatsRegistry::Counter& statSigFiltered;
+    StatsRegistry::Counter& statSigFalsePositives;
 };
 
 } // namespace tmsim

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Bloom signatures over conflict-tracking units, plus the listener
+ * interface that keeps the chip-wide sharer index in sync with
+ * per-context read/write sets.
+ *
+ * A signature answers "might this unit be in the set?" with no false
+ * negatives: a negative answer lets conflict queries skip every hash
+ * probe. Bits are only ever added; stale bits after a set shrinks
+ * (release, rollback, commit) merely cause false positives, which the
+ * exact map lookup behind the filter resolves. Signatures are cleared
+ * wholesale at cheap exact points (context leaves all transactions /
+ * the sharer index empties).
+ */
+
+#ifndef TMSIM_HTM_SIGNATURE_HH
+#define TMSIM_HTM_SIGNATURE_HH
+
+#include <cstdint>
+#include <cstring>
+
+#include "sim/types.hh"
+
+namespace tmsim {
+
+/**
+ * Fixed-size Bloom filter (2048 bits, two hash functions) with a
+ * one-word summary in front: most negative queries are answered by a
+ * single 64-bit test without touching the bit array.
+ */
+class TxSignature
+{
+  public:
+    static constexpr std::size_t numBits = 2048;
+
+    void
+    add(Addr unit)
+    {
+        const std::uint64_t h = mix(unit);
+        summary |= 1ull << (h & 63);
+        setBit((h >> 6) & (numBits - 1));
+        setBit((h >> 17) & (numBits - 1));
+    }
+
+    bool
+    mayContain(Addr unit) const
+    {
+        const std::uint64_t h = mix(unit);
+        if (!(summary & (1ull << (h & 63))))
+            return false;
+        return testBit((h >> 6) & (numBits - 1)) &&
+               testBit((h >> 17) & (numBits - 1));
+    }
+
+    void
+    clear()
+    {
+        summary = 0;
+        std::memset(bits, 0, sizeof(bits));
+    }
+
+    bool empty() const { return summary == 0; }
+
+  private:
+    /** SplitMix64 finaliser: cheap, well-mixed bits from an address. */
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x ^= x >> 30;
+        x *= 0xBF58476D1CE4E5B9ull;
+        x ^= x >> 27;
+        x *= 0x94D049BB133111EBull;
+        return x ^ (x >> 31);
+    }
+
+    void setBit(std::uint64_t i) { bits[i >> 6] |= 1ull << (i & 63); }
+
+    bool
+    testBit(std::uint64_t i) const
+    {
+        return (bits[i >> 6] >> (i & 63)) & 1;
+    }
+
+    std::uint64_t summary = 0;
+    std::uint64_t bits[numBits / 64] = {};
+};
+
+/**
+ * A TxSignature cleared lazily by epoch: bumping the owner's epoch
+ * invalidates the signature without touching its bits; the clear is
+ * paid only if the signature is used again.
+ */
+class EpochSignature
+{
+  public:
+    void
+    add(std::uint64_t cur_epoch, Addr unit)
+    {
+        if (epoch != cur_epoch) {
+            sig.clear();
+            epoch = cur_epoch;
+        }
+        sig.add(unit);
+    }
+
+    bool
+    mayContain(std::uint64_t cur_epoch, Addr unit) const
+    {
+        return epoch == cur_epoch && sig.mayContain(unit);
+    }
+
+  private:
+    TxSignature sig;
+    std::uint64_t epoch = 0;
+};
+
+class HtmContext;
+
+/**
+ * Receiver of sharer-set updates. Whenever a context's aggregate
+ * reader/writer level-masks for a tracking unit change, it reports the
+ * new masks here (both zero once the context no longer tracks the
+ * unit). The ConflictDetector implements this to maintain its inverted
+ * unit -> sharers index.
+ */
+class SharerIndexListener
+{
+  public:
+    virtual ~SharerIndexListener() = default;
+
+    virtual void onSharerUpdate(HtmContext* ctx, Addr unit,
+                                std::uint32_t readers,
+                                std::uint32_t writers) = 0;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_HTM_SIGNATURE_HH

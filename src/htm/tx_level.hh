@@ -31,7 +31,10 @@ enum class TxStatus
 /**
  * One active nesting level. The read-set/write-set here are the
  * authoritative line-granularity sets; the cache annotations mirror
- * them for capacity/timing modelling.
+ * them for capacity/timing modelling, and HtmContext mirrors them
+ * again in per-context unit -> level-mask aggregates (plus Bloom
+ * signatures and the detector's sharer index). Mutate the sets only
+ * through HtmContext so every mirror stays in sync.
  */
 struct TxLevel
 {
@@ -61,6 +64,18 @@ struct TxLevel
     /** Cheap size accessors used for commit/merge cost modelling. */
     size_t readSetSize() const { return readLines.size(); }
     size_t writeSetSize() const { return writeLines.size(); }
+
+    /** Discard all tracked sets and speculative data (xrwsetclear).
+     *  Callers must first detach the level from the aggregates (see
+     *  HtmContext::clearTopSets). */
+    void
+    clearSets()
+    {
+        readLines.clear();
+        writeLines.clear();
+        writeBuffer.clear();
+        writtenWords.clear();
+    }
 };
 
 } // namespace tmsim

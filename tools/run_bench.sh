@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Build the simulator in RelWithDebInfo and run the google-benchmark
+# targets, writing one BENCH_<target>.json per target into the repo
+# root (next to the curated BENCH_*.json result files).
+#
+# Usage:
+#   tools/run_bench.sh                 # all benchmark targets
+#   tools/run_bench.sh abl_conflict_index   # just one target
+#
+# Extra arguments after the target list are forwarded to every
+# benchmark binary (e.g. --benchmark_filter=BM_LazyBroadcast).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build-bench}"
+
+all_targets=(micro_sim_ops abl_conflict_index)
+
+targets=()
+extra_args=()
+for arg in "$@"; do
+    case "$arg" in
+        -*) extra_args+=("$arg") ;;
+        *) targets+=("$arg") ;;
+    esac
+done
+if [ "${#targets[@]}" -eq 0 ]; then
+    targets=("${all_targets[@]}")
+fi
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${build_dir}" -j "$(nproc)" --target "${targets[@]}"
+
+for t in "${targets[@]}"; do
+    out="${repo_root}/BENCH_${t}.json"
+    echo "== ${t} -> ${out}"
+    "${build_dir}/bench/${t}" \
+        --benchmark_format=json \
+        --benchmark_out="${out}" \
+        --benchmark_out_format=json \
+        "${extra_args[@]+"${extra_args[@]}"}"
+done
