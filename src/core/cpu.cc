@@ -1,6 +1,7 @@
 #include "core/cpu.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace tmsim {
 
@@ -16,6 +17,7 @@ Cpu::Cpu(CpuId id_, const HtmConfig& htm_cfg, const CacheGeometry& l1_geom,
          htm_cfg.maxHwLevels, stats),
       ctx(id_, htm_cfg, mem_sys.memory(), &l1, &l2, stats),
       det(mem_sys.detector()),
+      tr(&TxTracer::nil()),
       statLoads(stats.counter(strfmt("cpu%d.loads", id_))),
       statStores(stats.counter(strfmt("cpu%d.stores", id_))),
       statViolationsTaken(
@@ -23,7 +25,17 @@ Cpu::Cpu(CpuId id_, const HtmConfig& htm_cfg, const CacheGeometry& l1_geom,
       statRollbacksToOutermost(
           stats.counter(strfmt("cpu%d.rollbacks_outer", id_))),
       statRollbacksToInner(
-          stats.counter(strfmt("cpu%d.rollbacks_inner", id_)))
+          stats.counter(strfmt("cpu%d.rollbacks_inner", id_))),
+      statOuterCommits(
+          stats.counter(strfmt("cpu%d.htm.outer_commits", id_))),
+      statRestarts(stats.counter(strfmt("cpu%d.htm.restarts", id_))),
+      statWastedCycles(
+          stats.counter(strfmt("cpu%d.htm.wasted_cycles", id_))),
+      statBusBusy(stats.counter(strfmt("cpu%d.bus.busy_cycles", id_))),
+      distTxDurCommitted(
+          stats.distribution("htm.tx_duration_committed")),
+      distTxDurViolated(stats.distribution("htm.tx_duration_violated")),
+      distVioRestart(stats.distribution("htm.violation_to_restart"))
 {
     if (l1_geom.lineBytes != l2_geom.lineBytes)
         fatal("L1 and L2 must use the same line size");
@@ -44,6 +56,13 @@ Cpu::lowestLevel(std::uint32_t mask)
     if (mask == 0)
         panic("lowestLevel of empty mask");
     return __builtin_ctz(mask) + 1;
+}
+
+void
+Cpu::setTracer(TxTracer* t)
+{
+    tr = t;
+    ctx.setTracer(t);
 }
 
 void
@@ -77,6 +96,8 @@ Cpu::deliverViolations()
         ctx.setReporting(false);
         ++violationsDelivered;
         ++statViolationsTaken;
+        tr->instant(cpuId, TxTracer::Ev::ViolationDelivered, ctx.depth(),
+                    ctx.xvaddr(), ctx.xvattacker());
         if (violationProtocol)
             co_await violationProtocol(*this);
         else
@@ -108,10 +129,16 @@ Cpu::rollbackAndThrow(int target_level)
 void
 Cpu::rawRollback(int target_level)
 {
-    if (target_level <= 1)
+    if (target_level <= 1) {
         ++statRollbacksToOutermost;
-    else
+        if (ctx.inTx()) {
+            const Tick wasted = eq.curTick() - ctx.age();
+            distTxDurViolated.sample(wasted);
+            statWastedCycles += wasted;
+        }
+    } else {
         ++statRollbacksToInner;
+    }
     for (int lvl = ctx.depth(); lvl >= target_level; --lvl) {
         auto it = lockedAtLevel.find(lvl);
         if (it != lockedAtLevel.end()) {
@@ -120,6 +147,8 @@ Cpu::rawRollback(int target_level)
         }
     }
     ctx.rollbackTo(target_level);
+    restartPending = true;
+    restartFromTick = eq.curTick();
     // Re-enable reporting and promote anything that arrived while the
     // handler ran; survivors are delivered at the next poll point.
     ctx.returnFromHandler();
@@ -178,9 +207,10 @@ Cpu::load(Addr addr)
             if (ctx.deliverable())
                 co_await deliverViolations();
         }
-        auto verdict = det.eagerCheck(ctx, unit, false);
+        CpuId peer = -1;
+        auto verdict = det.eagerCheck(ctx, unit, false, &peer);
         if (verdict == ConflictDetector::Verdict::SelfViolate) {
-            ctx.raiseViolation(1u << (ctx.depth() - 1), unit);
+            ctx.raiseViolation(1u << (ctx.depth() - 1), unit, peer);
             co_await deliverViolations();
         }
     }
@@ -222,13 +252,24 @@ Cpu::store(Addr addr, Word value)
             if (ctx.deliverable())
                 co_await deliverViolations();
         }
-        auto verdict = det.eagerCheck(ctx, unit, true);
+        CpuId peer = -1;
+        auto verdict = det.eagerCheck(ctx, unit, true, &peer);
         if (verdict == ConflictDetector::Verdict::SelfViolate) {
-            ctx.raiseViolation(1u << (ctx.depth() - 1), unit);
+            ctx.raiseViolation(1u << (ctx.depth() - 1), unit, peer);
             co_await deliverViolations();
         }
     }
     ctx.specWrite(addr, value);
+}
+
+void
+Cpu::consumeRestart()
+{
+    if (!restartPending)
+        return;
+    restartPending = false;
+    ++statRestarts;
+    distVioRestart.sample(eq.curTick() - restartFromTick);
 }
 
 SimTask
@@ -237,6 +278,7 @@ Cpu::xbegin()
     if (ctx.deliverable())
         co_await deliverViolations();
     retire(1);
+    consumeRestart();
     ctx.begin(TxKind::Closed, eq.curTick());
     co_await Delay{eq, 1};
 }
@@ -247,6 +289,7 @@ Cpu::xbeginOpen()
     if (ctx.deliverable())
         co_await deliverViolations();
     retire(1);
+    consumeRestart();
     ctx.begin(TxKind::Open, eq.curTick());
     co_await Delay{eq, 1};
 }
@@ -333,6 +376,7 @@ Cpu::xvalidate()
         const Cycles beats =
             lines.size() * (1 + bus.beatsForLine(unitBytes));
         co_await bus.occupy(beats);
+        statBusBusy += bus.config().arbitrationLatency + beats;
         if (penalty)
             co_await Delay{eq, penalty};
         bus.commitToken().release();
@@ -377,6 +421,10 @@ Cpu::xcommit()
         det.unlockLines(ctx, it->second);
         lockedAtLevel.erase(it);
     }
+    if (outermost) {
+        ++statOuterCommits;
+        distTxDurCommitted.sample(eq.curTick() - ctx.age());
+    }
     ctx.popCommittedTop();
     if (cost)
         co_await Delay{eq, cost};
@@ -407,6 +455,7 @@ Cpu::xabort(Word code)
     co_await Delay{eq, 1};
     if (!ctx.inTx())
         fatal("xabort outside a transaction");
+    tr->instant(cpuId, TxTracer::Ev::AbortRequested, ctx.depth());
     // Hardware jumps to xahcode with reporting disabled.
     ctx.setReporting(false);
     if (abortProtocol) {

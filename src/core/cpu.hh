@@ -40,6 +40,11 @@ class Cpu
     HtmContext& htm() { return ctx; }
     const HtmContext& htm() const { return ctx; }
     EventQueue& eventQueue() { return eq; }
+
+    /** The machine-wide lifecycle tracer (never null; defaults to
+     *  TxTracer::nil()). Set by the Machine at construction. */
+    TxTracer* tracer() { return tr; }
+    void setTracer(TxTracer* t);
     MemSystem& memSystem() { return memSys; }
     BackingStore& memory() { return memSys.memory(); }
     Tick now() const { return eq.curTick(); }
@@ -150,6 +155,9 @@ class Cpu
     SimTask deliverViolations();
     SimTask defaultViolationProtocol();
 
+    /** Account a pending rollback-to-restart interval at xbegin. */
+    void consumeRestart();
+
     /** Pay the timed path through the private hierarchy and bus. */
     SimTask timedAccess(Addr line);
 
@@ -169,6 +177,7 @@ class Cpu
     Cache l2;
     HtmContext ctx;
     ConflictDetector& det;
+    TxTracer* tr;
 
     ViolationProtocol violationProtocol;
     AbortProtocol abortProtocol;
@@ -179,11 +188,32 @@ class Cpu
     std::uint64_t instrRetired = 0;
     std::uint64_t violationsDelivered = 0;
 
+    /** Tick of the last rawRollback, pending consumption by the next
+     *  xbegin (violation-to-restart latency measurement). */
+    Tick restartFromTick = 0;
+    bool restartPending = false;
+
     StatsRegistry::Counter& statLoads;
     StatsRegistry::Counter& statStores;
     StatsRegistry::Counter& statViolationsTaken;
     StatsRegistry::Counter& statRollbacksToOutermost;
     StatsRegistry::Counter& statRollbacksToInner;
+    /** Outermost (depth-1) commits: the samples counter of
+     *  htm.tx_duration_committed. */
+    StatsRegistry::Counter& statOuterCommits;
+    /** Begins that re-start a transaction after a rollback: the
+     *  samples counter of htm.violation_to_restart. */
+    StatsRegistry::Counter& statRestarts;
+    /** Cycles spent in transactions that were later rolled back. */
+    StatsRegistry::Counter& statWastedCycles;
+    /** This CPU's share of bus.busy_cycles (shared counter with
+     *  MemSystem::busFill; per-requester occupancy). */
+    StatsRegistry::Counter& statBusBusy;
+
+    /** Chip-wide outcome-split duration/latency histograms. */
+    StatsRegistry::Distribution& distTxDurCommitted;
+    StatsRegistry::Distribution& distTxDurViolated;
+    StatsRegistry::Distribution& distVioRestart;
 };
 
 } // namespace tmsim

@@ -4,16 +4,26 @@
 
 namespace tmsim {
 
-Machine::Machine(const MachineConfig& cfg_) : cfg(cfg_)
+Machine::Machine(const MachineConfig& cfg_) : cfg(cfg_), tracerObj(eq)
 {
     if (cfg.numCpus < 1)
         fatal("Machine needs at least one CPU");
+    tracerObj.setNumCpus(cfg.numCpus);
     memSys = std::make_unique<MemSystem>(eq, cfg.bus, cfg.memBytes,
                                          statsReg);
+    memSys->detector().setTracer(&tracerObj);
     for (int i = 0; i < cfg.numCpus; ++i) {
         cpus.push_back(std::make_unique<Cpu>(i, cfg.htm, cfg.l1, cfg.l2,
                                              *memSys, statsReg));
+        cpus.back()->setTracer(&tracerObj);
     }
+
+    // Derived whole-run metrics, evaluated lazily at dump time.
+    statsReg.formula("htm.abort_rate", "cpu*.rollbacks_outer",
+                     "cpu*.htm.begins");
+    statsReg.formula("htm.commit_rate", "cpu*.htm.outer_commits",
+                     "cpu*.htm.begins");
+    statsReg.formula("bus.utilization", "bus.busy_cycles", "sim.ticks");
 }
 
 void
@@ -53,6 +63,7 @@ Machine::run(Tick max_ticks)
     }
 
     Tick end = eq.run(max_ticks);
+    statsReg.counter("sim.ticks").set(end);
 
     for (auto& slot : threads) {
         if (slot.task.done())

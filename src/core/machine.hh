@@ -16,6 +16,7 @@
 #include "core/mem_system.hh"
 #include "sim/stats.hh"
 #include "sim/task.hh"
+#include "sim/trace.hh"
 
 namespace tmsim {
 
@@ -47,6 +48,10 @@ class Machine
 
     EventQueue& eventQueue() { return eq; }
     StatsRegistry& stats() { return statsReg; }
+
+    /** The machine-wide transaction lifecycle tracer. Disabled (and
+     *  effectively free) until tracer().enable(true). */
+    TxTracer& tracer() { return tracerObj; }
     MemSystem& memSystem() { return *memSys; }
     BackingStore& memory() { return memSys->memory(); }
     const MachineConfig& config() const { return cfg; }
@@ -84,6 +89,7 @@ class Machine
     MachineConfig cfg;
     EventQueue eq;
     StatsRegistry statsReg;
+    TxTracer tracerObj;
     std::unique_ptr<MemSystem> memSys;
     std::vector<std::unique_ptr<Cpu>> cpus;
     std::vector<ThreadSlot> threads;

@@ -6,8 +6,8 @@ namespace tmsim {
 
 MemSystem::MemSystem(EventQueue& eq_, const BusConfig& bus_cfg,
                      Addr mem_bytes, StatsRegistry& stats)
-    : eq(eq_), store(mem_bytes), sysBus(eq_, bus_cfg, stats),
-      det(eq_, stats), serialize(eq_)
+    : eq(eq_), statsReg(stats), store(mem_bytes),
+      sysBus(eq_, bus_cfg, stats), det(eq_, stats), serialize(eq_)
 {
 }
 
@@ -17,7 +17,9 @@ MemSystem::registerCpu(CpuId cpu, Cache* l1, Cache* l2, HtmContext* ctx)
     if (cpu != static_cast<CpuId>(ports.size()))
         panic("CPUs must register in order (got %d, expected %zu)", cpu,
               ports.size());
-    ports.push_back(CpuPort{l1, l2, ctx});
+    ports.push_back(CpuPort{
+        l1, l2, ctx,
+        &statsReg.counter(strfmt("cpu%d.bus.busy_cycles", cpu))});
     det.addContext(ctx);
 }
 
@@ -43,7 +45,10 @@ SimTask
 MemSystem::busFill(CpuId cpu, Addr line_addr)
 {
     CpuPort& port = ports[static_cast<size_t>(cpu)];
-    co_await sysBus.lineFetch(port.l1->geometry().lineBytes);
+    const Addr lineBytes = port.l1->geometry().lineBytes;
+    co_await sysBus.lineFetch(lineBytes);
+    *port.busBusy += sysBus.config().arbitrationLatency + 1 +
+                     sysBus.beatsForLine(lineBytes);
     EvictInfo l2Evict = port.l2->fill(line_addr);
     if (l2Evict.evicted && l2Evict.transactional)
         port.ctx->noteEviction(l2Evict);

@@ -29,6 +29,8 @@ class MemSystem
     MemSystem(EventQueue& eq, const BusConfig& bus_cfg, Addr mem_bytes,
               StatsRegistry& stats);
 
+    StatsRegistry& statsRegistry() { return statsReg; }
+
     BackingStore& memory() { return store; }
     Bus& bus() { return sysBus; }
     ConflictDetector& detector() { return det; }
@@ -72,9 +74,13 @@ class MemSystem
         Cache* l1 = nullptr;
         Cache* l2 = nullptr;
         HtmContext* ctx = nullptr;
+        /** Per-requester share of bus.busy_cycles (name-shared with the
+         *  Cpu's statBusBusy; mirrors Bus::lineFetch accounting). */
+        StatsRegistry::Counter* busBusy = nullptr;
     };
 
     EventQueue& eq;
+    StatsRegistry& statsReg;
     BackingStore store;
     Bus sysBus;
     ConflictDetector det;

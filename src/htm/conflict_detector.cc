@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace tmsim {
 
@@ -19,6 +20,7 @@ ConflictDetector::ConflictDetector(EventQueue& eq_, StatsRegistry& stats)
       statIndexHits(stats.counter("htm.index_hits")),
       statSigFalsePositives(stats.counter("htm.sig_false_positives"))
 {
+    tracer = &TxTracer::nil();
 }
 
 void
@@ -142,7 +144,7 @@ ConflictDetector::broadcastWriteSet(HtmContext& committer,
             std::uint32_t mask = s.readers & ~ctx->validatedLevels();
             if (mask) {
                 ++statLazyViolations;
-                ctx->raiseViolation(mask, line);
+                ctx->raiseViolation(mask, line, committer.cpuId());
             }
         }
     }
@@ -212,13 +214,16 @@ ConflictDetector::waitUnlocked(const HtmContext& me, Addr line)
     // One stall event per initial park, however many spurious re-wakes
     // the unlock/relock races deliver before the line is really free.
     ++statLockStalls;
+    const Tick stallStart = eq.curTick();
     while (lockedByOther(me, line))
         co_await LockWait{*this, line};
+    tracer->span(me.cpuId(), TxTracer::Ev::LockStall, stallStart,
+                 eq.curTick() - stallStart);
 }
 
 ConflictDetector::Verdict
 ConflictDetector::eagerCheck(HtmContext& requester, Addr line,
-                             bool is_write)
+                             bool is_write, CpuId* conflict_peer)
 {
     const SharerEntry* e = lookupSharers(line, is_write, true);
     if (!e)
@@ -253,7 +258,8 @@ ConflictDetector::eagerCheck(HtmContext& requester, Addr line,
                                      requester.inTx() &&
                                      requester.age() < ctx->age();
             if (evictVictim)
-                ctx->raiseViolation(mask & ~ctx->validatedLevels(), line);
+                ctx->raiseViolation(mask & ~ctx->validatedLevels(), line,
+                                    requester.cpuId());
         }
         if (!requesterLoses &&
             requester.config().policy == ConflictPolicy::OlderWins) {
@@ -264,9 +270,12 @@ ConflictDetector::eagerCheck(HtmContext& requester, Addr line,
 
         if (requesterLoses) {
             ++statSelfViolations;
+            if (conflict_peer)
+                *conflict_peer = ctx->cpuId();
             return Verdict::SelfViolate;
         }
-        ctx->raiseViolation(mask & ~ctx->validatedLevels(), line);
+        ctx->raiseViolation(mask & ~ctx->validatedLevels(), line,
+                            requester.cpuId());
     }
     return Verdict::Proceed;
 }
@@ -285,7 +294,7 @@ ConflictDetector::nonTxStore(CpuId cpu, Addr line)
                              ~ctx->validatedLevels();
         if (mask) {
             ++statStrongAtomicityViolations;
-            ctx->raiseViolation(mask, line);
+            ctx->raiseViolation(mask, line, cpu);
         }
     }
 }

@@ -50,6 +50,9 @@ class ConflictDetector : public SharerIndexListener
     void onSharerUpdate(HtmContext* ctx, Addr unit, std::uint32_t readers,
                         std::uint32_t writers) override;
 
+    /** Point lock-stall span emission at @p t (the Machine's tracer). */
+    void setTracer(TxTracer* t) { tracer = t; }
+
     // --- lazy protocol ---
 
     /**
@@ -91,8 +94,12 @@ class ConflictDetector : public SharerIndexListener
      * Access-time conflict check for @p requester touching @p line.
      * Violates losing contexts; returns SelfViolate when the requester
      * must abort instead (validated opponent, or older-wins policy).
+     * When @p conflict_peer is non-null it receives the CPU id of the
+     * opponent that decided a SelfViolate verdict (untouched
+     * otherwise), so the caller can attribute the self-violation.
      */
-    Verdict eagerCheck(HtmContext& requester, Addr line, bool is_write);
+    Verdict eagerCheck(HtmContext& requester, Addr line, bool is_write,
+                       CpuId* conflict_peer = nullptr);
 
     // --- strong atomicity ---
 
@@ -187,6 +194,9 @@ class ConflictDetector : public SharerIndexListener
 
     EventQueue& eq;
     std::vector<HtmContext*> ctxs;
+
+    /** Lifecycle-event sink (never null; defaults to TxTracer::nil()). */
+    TxTracer* tracer;
     std::unordered_map<Addr, Lock> lockOwner;
     std::unordered_map<Addr, std::vector<std::coroutine_handle<>>>
         lockWaiters;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace tmsim {
 
@@ -22,8 +23,11 @@ HtmContext::HtmContext(CpuId id_, const HtmConfig& cfg_, BackingStore& mem_,
           stats.counter(strfmt("cpu%d.htm.violations", id_))),
       statSubsumed(stats.counter(strfmt("cpu%d.htm.subsumed_begins", id_))),
       statSigFiltered(stats.counter("htm.sig_filtered")),
-      statSigFalsePositives(stats.counter("htm.sig_false_positives"))
+      statSigFalsePositives(stats.counter("htm.sig_false_positives")),
+      distRsetAtCommit(stats.distribution("htm.rset_size_at_commit")),
+      distWsetAtCommit(stats.distribution("htm.wset_size_at_commit"))
 {
+    tracer = &TxTracer::nil();
     if (cfg.version == VersionMode::UndoLog &&
         cfg.conflict == ConflictMode::Lazy) {
         fatal("undo-log versioning requires eager conflict detection: "
@@ -63,6 +67,7 @@ HtmContext::begin(TxKind kind, Tick now)
         }
         ++statSubsumed;
         top().flattenDepth++;
+        tracer->instant(id, TxTracer::Ev::SubsumedBegin, depth());
         return false;
     }
 
@@ -71,6 +76,11 @@ HtmContext::begin(TxKind kind, Tick now)
     lvl.beginTick = now;
     lvl.undoBase = undoLog.size();
     levels.push_back(std::move(lvl));
+    tracer->beginTx(id,
+                    depth() == 1 ? TxTracer::Ev::TxOuter
+                    : kind == TxKind::Open ? TxTracer::Ev::TxOpen
+                                           : TxTracer::Ev::TxNested,
+                    depth());
     return true;
 }
 
@@ -364,6 +374,7 @@ HtmContext::setTopValidated()
         panic("setTopValidated outside a transaction");
     top().status = TxStatus::Validated;
     validatedMask |= 1u << (depth() - 1);
+    tracer->instant(id, TxTracer::Ev::Validated, depth());
 }
 
 const std::vector<Addr>&
@@ -407,6 +418,9 @@ HtmContext::commitClosedTop()
     if (depth() < 2)
         panic("commitClosedTop at depth %d", depth());
     const int childLevelNum = depth();
+    distRsetAtCommit.sample(top().readSetSize());
+    distWsetAtCommit.sample(top().writeSetSize());
+    tracer->endTx(id, childLevelNum, TxTracer::Outcome::ClosedMerge);
     TxLevel child = std::move(levels.back());
     levels.pop_back();
     TxLevel& parent = levels.back();
@@ -497,10 +511,15 @@ HtmContext::popCommittedTop()
     if (!inTx())
         panic("popCommittedTop outside a transaction");
     int lvl = depth();
-    if (top().kind == TxKind::Open && lvl > 1)
+    distRsetAtCommit.sample(top().readSetSize());
+    distWsetAtCommit.sample(top().writeSetSize());
+    if (top().kind == TxKind::Open && lvl > 1) {
         ++statOpenCommits;
-    else
+        tracer->endTx(id, lvl, TxTracer::Outcome::OpenCommit);
+    } else {
         ++statCommits;
+        tracer->endTx(id, lvl, TxTracer::Outcome::Commit);
+    }
     if (l1)
         l1->commitOpenLevel(lvl);
     if (l2)
@@ -536,13 +555,14 @@ HtmContext::rollbackTo(int target)
         validatedMask &= ~(1u << (lvl - 1));
         levels.pop_back();
         ++statRollbacks;
+        tracer->endTx(id, lvl, TxTracer::Outcome::Rollback, vaddr);
     }
     if (levels.empty())
         onAllLevelsGone();
 }
 
 void
-HtmContext::raiseViolation(std::uint32_t mask, Addr where)
+HtmContext::raiseViolation(std::uint32_t mask, Addr where, CpuId attacker)
 {
     if (mask == 0)
         panic("raiseViolation with empty mask");
@@ -552,6 +572,9 @@ HtmContext::raiseViolation(std::uint32_t mask, Addr where)
     else
         vpending |= mask;
     vaddr = where;
+    vattacker = attacker;
+    tracer->instant(id, TxTracer::Ev::ViolationRaised,
+                    __builtin_ctz(mask) + 1, where, attacker);
     if (violationHook)
         violationHook();
 }
@@ -633,6 +656,7 @@ HtmContext::resetAll()
     vcurrent = 0;
     vpending = 0;
     vaddr = invalidAddr;
+    vattacker = -1;
     reporting = true;
     onAllLevelsGone();
     if (l1)

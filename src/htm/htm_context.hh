@@ -24,6 +24,8 @@
 
 namespace tmsim {
 
+class TxTracer;
+
 /**
  * The transactional half of one hardware CPU context. Owns the stack of
  * active nesting levels and the speculative data; knows nothing about
@@ -136,6 +138,10 @@ class HtmContext
      *  ConflictDetector); it is notified on every aggregate change. */
     void setSharerListener(SharerIndexListener* l) { sharerListener = l; }
 
+    /** Point lifecycle-event emission at @p t (the Machine's tracer).
+     *  Defaults to TxTracer::nil(), the disabled null sink. */
+    void setTracer(TxTracer* t) { tracer = t; }
+
     /** UndoLog mode: this context has an uncommitted in-place write of
      *  @p word_addr. */
     bool wroteWordInPlace(Addr word_addr) const;
@@ -191,8 +197,11 @@ class HtmContext
 
     // --- violation registers (paper table 1) ---
 
-    /** Record a conflict hitting @p mask levels at line @p where. */
-    void raiseViolation(std::uint32_t mask, Addr where);
+    /** Record a conflict hitting @p mask levels at line @p where.
+     *  @p attacker is the CPU whose access caused the conflict (-1
+     *  when unknown, e.g. test-injected violations). */
+    void raiseViolation(std::uint32_t mask, Addr where,
+                        CpuId attacker = -1);
 
     bool reportingEnabled() const { return reporting; }
     void setReporting(bool on) { reporting = on; }
@@ -200,6 +209,9 @@ class HtmContext
     std::uint32_t xvcurrent() const { return vcurrent; }
     std::uint32_t xvpending() const { return vpending; }
     Addr xvaddr() const { return vaddr; }
+
+    /** CPU that caused the most recent violation (-1 if unknown). */
+    CpuId xvattacker() const { return vattacker; }
 
     /** Deliverable = reporting enabled and xvcurrent nonzero. */
     bool deliverable() const { return reporting && vcurrent != 0; }
@@ -332,8 +344,12 @@ class HtmContext
     std::uint32_t vcurrent = 0;
     std::uint32_t vpending = 0;
     Addr vaddr = invalidAddr;
+    CpuId vattacker = -1;
     bool reporting = true;
     std::function<void()> violationHook;
+
+    /** Lifecycle-event sink (never null; defaults to TxTracer::nil()). */
+    TxTracer* tracer;
 
     std::uint64_t overflowLines = 0;
 
@@ -347,6 +363,12 @@ class HtmContext
     /** Chip-wide (shared-name) signature filter stats. */
     StatsRegistry::Counter& statSigFiltered;
     StatsRegistry::Counter& statSigFalsePositives;
+
+    /** Chip-wide commit-time set-size histograms: sampled once per
+     *  commit of any flavour, so each samples count equals
+     *  sum(cpu*.htm.commits) + sum(cpu*.htm.open_commits). */
+    StatsRegistry::Distribution& distRsetAtCommit;
+    StatsRegistry::Distribution& distWsetAtCommit;
 };
 
 } // namespace tmsim

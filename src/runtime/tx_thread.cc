@@ -4,6 +4,7 @@
 
 #include "core/tx_signals.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace tmsim {
 
@@ -197,6 +198,8 @@ TxThread::commitSequence()
     co_await cpuRef.exec(2);                     // 4: bounds + branch
     auto commitEntries = ch.entriesAbove(f.chSave);
     for (const auto& e : commitEntries) {
+        cpuRef.tracer()->instant(cpuRef.id(), TxTracer::Ev::CommitHandler,
+                                 ctx.depth());
         co_await chargeDispatch(ch, e);
         co_await e.fn(*this, e.args);
     }
@@ -224,8 +227,11 @@ TxThread::backoff(int retries)
         // enough to break symmetric retry lockstep.
         d = threadRng.below(4);
     }
-    if (d)
+    if (d) {
+        const Tick start = cpuRef.now();
+        cpuRef.tracer()->span(cpuRef.id(), TxTracer::Ev::Backoff, start, d);
         co_await Delay{cpuRef.eventQueue(), d};
+    }
 }
 
 SimTask
@@ -310,6 +316,8 @@ TxThread::violationProtocolImpl(Cpu& c)
     // undo semantics).
     auto entries = vh.entriesAbove(tf.vhSave);
     for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        c.tracer()->instant(c.id(), TxTracer::Ev::ViolationHandler,
+                            ctx.depth(), info.vaddr);
         co_await chargeDispatch(vh, *it);
         VioAction action = co_await it->fn(*this, info, it->args);
         if (action == VioAction::Continue) {
@@ -355,6 +363,8 @@ TxThread::abortProtocolImpl(Cpu& c, Word code)
 
     auto entries = ah.entriesAbove(tf.ahSave);
     for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        c.tracer()->instant(c.id(), TxTracer::Ev::AbortHandler,
+                            ctx.depth());
         co_await chargeDispatch(ah, *it);
         co_await it->fn(*this, it->args);
     }

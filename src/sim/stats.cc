@@ -1,11 +1,69 @@
 #include "sim/stats.hh"
 
+#include <cstdio>
+
 namespace tmsim {
+
+namespace {
+
+/** Counter names are plain dotted identifiers today, but keep the JSON
+ *  well-formed even if somebody registers an exotic one. */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+int
+StatsRegistry::Distribution::highestBucket() const
+{
+    for (int b = numBuckets - 1; b >= 0; --b)
+        if (bucketCounts[static_cast<size_t>(b)])
+            return b;
+    return -1;
+}
 
 StatsRegistry::Counter&
 StatsRegistry::counter(const std::string& name)
 {
     return counters[name];
+}
+
+StatsRegistry::Distribution&
+StatsRegistry::distribution(const std::string& name)
+{
+    return dists[name];
+}
+
+void
+StatsRegistry::formula(const std::string& name, const std::string& num,
+                       const std::string& den)
+{
+    formulas[name] = Formula{num, den};
 }
 
 std::uint64_t
@@ -39,18 +97,111 @@ StatsRegistry::sum(const std::string& pattern) const
     return total;
 }
 
+const StatsRegistry::Distribution*
+StatsRegistry::findDistribution(const std::string& name) const
+{
+    auto it = dists.find(name);
+    return it == dists.end() ? nullptr : &it->second;
+}
+
+double
+StatsRegistry::formulaValue(const std::string& name) const
+{
+    auto it = formulas.find(name);
+    if (it == formulas.end())
+        return 0.0;
+    const std::uint64_t den = sum(it->second.denominator);
+    if (den == 0)
+        return 0.0;
+    return static_cast<double>(sum(it->second.numerator)) /
+           static_cast<double>(den);
+}
+
 void
 StatsRegistry::resetAll()
 {
     for (auto& [name, ctr] : counters)
         ctr.reset();
+    for (auto& [name, dist] : dists)
+        dist.reset();
 }
 
 void
 StatsRegistry::dump(std::ostream& os) const
 {
+    os << "# tmsim-stats schema " << statsSchemaVersion << "\n";
     for (const auto& [name, ctr] : counters)
         os << name << " " << ctr.value() << "\n";
+    for (const auto& [name, dist] : dists) {
+        os << name << "::samples " << dist.count() << "\n";
+        os << name << "::min " << dist.min() << "\n";
+        os << name << "::max " << dist.max() << "\n";
+        os << name << "::mean " << fmtDouble(dist.mean()) << "\n";
+        const int top = dist.highestBucket();
+        for (int b = 0; b <= top; ++b) {
+            if (dist.bucketCount(b) == 0)
+                continue;
+            os << name << "::bucket[" << Distribution::bucketLo(b) << ","
+               << Distribution::bucketHi(b) << "] " << dist.bucketCount(b)
+               << "\n";
+        }
+    }
+    for (const auto& [name, f] : formulas)
+        os << name << " " << fmtDouble(formulaValue(name)) << "\n";
+}
+
+void
+StatsRegistry::dumpJson(std::ostream& os) const
+{
+    os << "{\n";
+    os << "  \"schema\": \"tmsim-stats\",\n";
+    os << "  \"schema_version\": " << statsSchemaVersion << ",\n";
+
+    os << "  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, ctr] : counters) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << ctr.value();
+        first = false;
+    }
+    os << "\n  },\n";
+
+    os << "  \"distributions\": {";
+    first = true;
+    for (const auto& [name, dist] : dists) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": {\"samples\": " << dist.count()
+           << ", \"min\": " << dist.min() << ", \"max\": " << dist.max()
+           << ", \"mean\": " << fmtDouble(dist.mean())
+           << ", \"total\": " << dist.total() << ", \"buckets\": [";
+        const int top = dist.highestBucket();
+        bool firstB = true;
+        for (int b = 0; b <= top; ++b) {
+            if (dist.bucketCount(b) == 0)
+                continue;
+            os << (firstB ? "" : ", ") << "{\"lo\": "
+               << Distribution::bucketLo(b) << ", \"hi\": "
+               << Distribution::bucketHi(b) << ", \"count\": "
+               << dist.bucketCount(b) << "}";
+            firstB = false;
+        }
+        os << "]}";
+        first = false;
+    }
+    os << "\n  },\n";
+
+    os << "  \"formulas\": {";
+    first = true;
+    for (const auto& [name, f] : formulas) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": {\"value\": " << fmtDouble(formulaValue(name))
+           << ", \"numerator\": \"" << jsonEscape(f.numerator)
+           << "\", \"denominator\": \"" << jsonEscape(f.denominator)
+           << "\"}";
+        first = false;
+    }
+    os << "\n  }\n";
+    os << "}\n";
 }
 
 std::vector<std::string>

@@ -1,11 +1,23 @@
 /**
  * @file
  * Lightweight statistics registry in the spirit of gem5's stats package.
+ *
+ * Three stat kinds:
+ *  - Counter: a named 64-bit event counter.
+ *  - Distribution: a log2-bucketed histogram with min/max/mean, for
+ *    quantities whose shape matters (set sizes, durations, latencies).
+ *  - Formula: a derived ratio of two counter sum() patterns, evaluated
+ *    lazily at dump time so it never goes stale.
+ *
+ * Both the text dump and the JSON dump lead with a schema version
+ * header (see statsSchemaVersion) so downstream parsers can detect
+ * format drift instead of silently misreading.
  */
 
 #ifndef TMSIM_SIM_STATS_HH
 #define TMSIM_SIM_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -16,9 +28,15 @@
 
 namespace tmsim {
 
+/** Bumped whenever the dump format changes shape. v1 was the bare
+ *  "name value" counter listing; v2 added the header line itself,
+ *  distributions and formulas. */
+constexpr int statsSchemaVersion = 2;
+
 /**
- * A registry of named scalar statistics. Components register counters
- * at construction; the Machine dumps the registry after a run.
+ * A registry of named statistics. Components register stats at
+ * construction; the Machine dumps the registry after a run. Returned
+ * references stay valid for the registry's lifetime.
  */
 class StatsRegistry
 {
@@ -32,6 +50,8 @@ class StatsRegistry
         void operator++(int) { ++val; }
         void operator+=(std::uint64_t n) { val += n; }
         std::uint64_t value() const { return val; }
+        /** Absolute gauges (e.g. sim.ticks) overwrite their value. */
+        void set(std::uint64_t v) { val = v; }
         void reset() { val = 0; }
 
       private:
@@ -39,11 +59,124 @@ class StatsRegistry
     };
 
     /**
+     * A log2-bucketed histogram. Bucket 0 holds exactly the value 0;
+     * bucket b >= 1 holds values in [2^(b-1), 2^b - 1]. 65 buckets
+     * cover the full 64-bit sample range, so sample() never saturates
+     * and the bucket counts always sum to count().
+     */
+    class Distribution
+    {
+      public:
+        static constexpr int numBuckets = 65;
+
+        void
+        sample(std::uint64_t v)
+        {
+            if (cnt == 0) {
+                minVal = v;
+                maxVal = v;
+            } else {
+                if (v < minVal)
+                    minVal = v;
+                if (v > maxVal)
+                    maxVal = v;
+            }
+            ++cnt;
+            sumVal += v;
+            ++bucketCounts[static_cast<size_t>(bucketOf(v))];
+        }
+
+        /** Bucket index for @p v (0 for v == 0, else floor(log2 v)+1). */
+        static int
+        bucketOf(std::uint64_t v)
+        {
+            return v == 0 ? 0 : 64 - __builtin_clzll(v);
+        }
+
+        /** Smallest value falling into bucket @p b. */
+        static std::uint64_t
+        bucketLo(int b)
+        {
+            return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+        }
+
+        /** Largest value falling into bucket @p b. */
+        static std::uint64_t
+        bucketHi(int b)
+        {
+            if (b == 0)
+                return 0;
+            if (b == 64)
+                return ~std::uint64_t{0};
+            return (std::uint64_t{1} << b) - 1;
+        }
+
+        std::uint64_t count() const { return cnt; }
+        std::uint64_t total() const { return sumVal; }
+        std::uint64_t min() const { return cnt ? minVal : 0; }
+        std::uint64_t max() const { return cnt ? maxVal : 0; }
+
+        double
+        mean() const
+        {
+            return cnt ? static_cast<double>(sumVal) /
+                             static_cast<double>(cnt)
+                       : 0.0;
+        }
+
+        std::uint64_t
+        bucketCount(int b) const
+        {
+            return bucketCounts[static_cast<size_t>(b)];
+        }
+
+        /** Index of the highest non-empty bucket (-1 when empty). */
+        int highestBucket() const;
+
+        void
+        reset()
+        {
+            cnt = 0;
+            sumVal = 0;
+            minVal = 0;
+            maxVal = 0;
+            bucketCounts.fill(0);
+        }
+
+      private:
+        std::uint64_t cnt = 0;
+        std::uint64_t sumVal = 0;
+        std::uint64_t minVal = 0;
+        std::uint64_t maxVal = 0;
+        std::array<std::uint64_t, numBuckets> bucketCounts{};
+    };
+
+    /**
+     * A derived ratio numerator/denominator where both sides are
+     * counter sum() patterns ("prefix*suffix"). Evaluated against the
+     * owning registry at dump/value time.
+     */
+    struct Formula
+    {
+        std::string numerator;
+        std::string denominator;
+    };
+
+    /**
      * Register (or look up) a counter under a hierarchical dotted name,
-     * e.g. "cpu3.htm.violations". The returned reference stays valid
-     * for the registry's lifetime.
+     * e.g. "cpu3.htm.violations".
      */
     Counter& counter(const std::string& name);
+
+    /** Register (or look up) a distribution. */
+    Distribution& distribution(const std::string& name);
+
+    /**
+     * Register a formula @p name = sum(@p num) / sum(@p den).
+     * Re-registering an existing name overwrites its patterns.
+     */
+    void formula(const std::string& name, const std::string& num,
+                 const std::string& den);
 
     /** Read a counter's current value (0 if never registered). */
     std::uint64_t value(const std::string& name) const;
@@ -52,17 +185,34 @@ class StatsRegistry
      *  @p pattern contains at most one '*'. */
     std::uint64_t sum(const std::string& pattern) const;
 
-    /** Reset every counter to zero. */
+    /** Look up a distribution (nullptr if never registered). */
+    const Distribution* findDistribution(const std::string& name) const;
+
+    /** Evaluate a registered formula (0.0 if unknown or den == 0). */
+    double formulaValue(const std::string& name) const;
+
+    /** Reset every counter and distribution to zero. */
     void resetAll();
 
-    /** Write "name value" lines, sorted by name. */
+    /**
+     * Text dump: a "# tmsim-stats schema <v>" header, then "name value"
+     * lines sorted by name. Distributions dump as name::samples/min/
+     * max/mean plus one name::bucket line per non-empty bucket;
+     * formulas dump their evaluated value.
+     */
     void dump(std::ostream& os) const;
 
-    /** All registered names, sorted. */
+    /** JSON dump of the same data (one top-level object; see STATS.md
+     *  for the schema). */
+    void dumpJson(std::ostream& os) const;
+
+    /** All registered counter names, sorted. */
     std::vector<std::string> names() const;
 
   private:
     std::map<std::string, Counter> counters;
+    std::map<std::string, Distribution> dists;
+    std::map<std::string, Formula> formulas;
 };
 
 } // namespace tmsim

@@ -1,0 +1,166 @@
+#include "sim/trace.hh"
+
+#include "sim/logging.hh"
+
+namespace tmsim {
+
+namespace {
+
+/** Display name of an event; also the slice name in the viewer. */
+const char*
+evName(TxTracer::Ev ev)
+{
+    switch (ev) {
+    case TxTracer::Ev::TxOuter: return "tx";
+    case TxTracer::Ev::TxNested: return "tx.nested";
+    case TxTracer::Ev::TxOpen: return "tx.open";
+    case TxTracer::Ev::SubsumedBegin: return "subsumed_begin";
+    case TxTracer::Ev::Validated: return "validated";
+    case TxTracer::Ev::ViolationRaised: return "violation_raised";
+    case TxTracer::Ev::ViolationDelivered: return "violation_delivered";
+    case TxTracer::Ev::AbortRequested: return "abort_requested";
+    case TxTracer::Ev::CommitHandler: return "handler.commit";
+    case TxTracer::Ev::ViolationHandler: return "handler.violation";
+    case TxTracer::Ev::AbortHandler: return "handler.abort";
+    case TxTracer::Ev::Backoff: return "backoff";
+    case TxTracer::Ev::LockStall: return "stall.lock";
+    }
+    return "?";
+}
+
+const char*
+outcomeName(TxTracer::Outcome out)
+{
+    switch (out) {
+    case TxTracer::Outcome::None: return "none";
+    case TxTracer::Outcome::Commit: return "commit";
+    case TxTracer::Outcome::OpenCommit: return "open_commit";
+    case TxTracer::Outcome::ClosedMerge: return "closed_merge";
+    case TxTracer::Outcome::Rollback: return "rollback";
+    case TxTracer::Outcome::Abort: return "abort";
+    }
+    return "?";
+}
+
+} // namespace
+
+TxTracer&
+TxTracer::nil()
+{
+    static TxTracer t;
+    return t;
+}
+
+void
+TxTracer::enable(bool e)
+{
+    if (e && !clock)
+        fatal("cannot enable a TxTracer with no clock (null sink)");
+    on = e;
+}
+
+void
+TxTracer::clear()
+{
+    events.clear();
+    dropped = 0;
+}
+
+void
+TxTracer::push(const Event& e)
+{
+    if (events.size() >= capacity) {
+        ++dropped;
+        return;
+    }
+    if (events.empty())
+        events.reserve(capacity < 4096 ? capacity : 4096);
+    events.push_back(e);
+}
+
+void
+TxTracer::record(Ev ev, Phase ph, CpuId cpu, int depth, Addr addr,
+                 CpuId other, Outcome out, Tick dur)
+{
+    push(Event{clock->curTick(), dur, addr, cpu, other, ev, ph,
+               static_cast<std::uint8_t>(depth), out});
+}
+
+void
+TxTracer::recordSpan(Ev ev, CpuId cpu, Tick start, Tick dur)
+{
+    push(Event{start, dur, invalidAddr, cpu, -1, ev, Phase::Complete, 0,
+               Outcome::None});
+}
+
+void
+TxTracer::writeChromeTrace(std::ostream& os) const
+{
+    const Tick cycles = clock ? clock->curTick() : 0;
+    os << "{\n";
+    os << "\"otherData\": {\"schema\": \"tmsim-trace\", "
+       << "\"schema_version\": " << traceSchemaVersion << ", "
+       << "\"cycles\": " << cycles << ", \"cpus\": " << numCpus << ", "
+       << "\"events\": " << events.size() << ", \"dropped\": " << dropped
+       << "},\n";
+    os << "\"displayTimeUnit\": \"ns\",\n";
+    os << "\"traceEvents\": [\n";
+
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    for (int c = 0; c < numCpus; ++c) {
+        sep();
+        os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+           << "\"tid\": " << c << ", \"args\": {\"name\": \"cpu" << c
+           << "\"}}";
+    }
+
+    for (const Event& e : events) {
+        sep();
+        os << "{\"name\": \"";
+        // The viewer pairs an E with the most recent B on the track, so
+        // the E reuses the slice kind implicitly; emit the generic name.
+        os << (e.phase == Phase::SliceEnd ? "tx" : evName(e.ev));
+        os << "\", \"ph\": \"";
+        switch (e.phase) {
+        case Phase::SliceBegin: os << "B"; break;
+        case Phase::SliceEnd: os << "E"; break;
+        case Phase::Instant: os << "i"; break;
+        case Phase::Complete: os << "X"; break;
+        }
+        os << "\", \"ts\": " << e.ts << ", \"pid\": 0, \"tid\": " << e.cpu;
+        if (e.phase == Phase::Complete)
+            os << ", \"dur\": " << e.dur;
+        if (e.phase == Phase::Instant)
+            os << ", \"s\": \"t\"";
+        os << ", \"args\": {";
+        bool firstArg = true;
+        auto arg = [&](const char* key) -> std::ostream& {
+            if (!firstArg)
+                os << ", ";
+            firstArg = false;
+            os << "\"" << key << "\": ";
+            return os;
+        };
+        if (e.phase == Phase::SliceBegin)
+            arg("kind") << "\"" << evName(e.ev) << "\"";
+        if (e.phase != Phase::Complete)
+            arg("depth") << static_cast<int>(e.depth);
+        if (e.phase == Phase::SliceEnd)
+            arg("outcome") << "\"" << outcomeName(e.outcome) << "\"";
+        if (e.addr != invalidAddr)
+            arg("addr") << "\"0x" << std::hex << e.addr << std::dec
+                        << "\"";
+        if (e.other >= 0)
+            arg("attacker") << e.other;
+        os << "}}";
+    }
+    os << "\n]\n}\n";
+}
+
+} // namespace tmsim

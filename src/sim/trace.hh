@@ -1,0 +1,188 @@
+/**
+ * @file
+ * TxTracer: per-transaction lifecycle tracing into a bounded in-memory
+ * buffer, exportable as Chrome trace-event JSON (loadable in Perfetto /
+ * chrome://tracing).
+ *
+ * The trace model (see DESIGN.md section 8):
+ *  - one track per CPU (pid 0, tid = cpu id);
+ *  - every hardware nesting level is a duration slice: a "B" event at
+ *    xbegin and an "E" event at commit/merge/rollback, so the slice
+ *    stack depth in the viewer equals the hardware nesting depth;
+ *  - instant events mark subsumed begins, validation, violations
+ *    (raised and delivered, with conflicting address, attacker CPU and
+ *    nesting level), aborts and handler dispatches;
+ *  - complete ("X") events with explicit durations cover backoff and
+ *    lock-stall intervals.
+ *
+ * Tracing is compiled in but cheap when off: every recorder is an
+ * inline enabled-flag test that falls through without a call. Emitters
+ * hold a TxTracer* that defaults to TxTracer::nil(), a process-wide
+ * permanently-disabled sink, so no call site needs a null check.
+ */
+
+#ifndef TMSIM_SIM_TRACE_HH
+#define TMSIM_SIM_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace tmsim {
+
+/** Bumped whenever the exported trace shape changes. */
+constexpr int traceSchemaVersion = 1;
+
+class TxTracer
+{
+  public:
+    /** What happened. Slice kinds open a B/E pair; the rest are
+     *  instants or explicit-duration spans. */
+    enum class Ev : std::uint8_t
+    {
+        // Slices (B at begin; the matching E carries an Outcome).
+        TxOuter,
+        TxNested,
+        TxOpen,
+        // Instants.
+        SubsumedBegin,
+        Validated,
+        ViolationRaised,
+        ViolationDelivered,
+        AbortRequested,
+        CommitHandler,
+        ViolationHandler,
+        AbortHandler,
+        // Explicit-duration spans.
+        Backoff,
+        LockStall,
+    };
+
+    /** How a slice ended (E events only). */
+    enum class Outcome : std::uint8_t
+    {
+        None,
+        Commit,
+        OpenCommit,
+        ClosedMerge,
+        Rollback,
+        Abort,
+    };
+
+    static constexpr std::size_t defaultCapacity = 1u << 20;
+
+    /** A permanently-disabled null sink; the default target of every
+     *  emitter so the off path is a single predictable branch. */
+    static TxTracer& nil();
+
+    /** Disabled sink with no clock; enable() on it is a fatal error. */
+    TxTracer() = default;
+
+    /** A real tracer stamping events from @p eq's clock. */
+    explicit TxTracer(const EventQueue& eq,
+                      std::size_t max_events = defaultCapacity)
+        : clock(&eq), capacity(max_events)
+    {
+    }
+
+    bool enabled() const { return on; }
+
+    /** Turn recording on/off. Buffered events are kept. */
+    void enable(bool e);
+
+    /** Number of CPU tracks named in the export metadata. */
+    void setNumCpus(int n) { numCpus = n; }
+
+    // --- recorders (all no-ops while disabled) ---
+
+    /** Open a nesting-level slice. */
+    void
+    beginTx(CpuId cpu, Ev kind, int depth)
+    {
+        if (on)
+            record(kind, Phase::SliceBegin, cpu, depth, invalidAddr, -1,
+                   Outcome::None, 0);
+    }
+
+    /** Close the innermost open slice on @p cpu's track. */
+    void
+    endTx(CpuId cpu, int depth, Outcome out, Addr addr = invalidAddr)
+    {
+        if (on)
+            record(Ev::TxOuter, Phase::SliceEnd, cpu, depth, addr, -1,
+                   out, 0);
+    }
+
+    /** Point event; @p addr / @p other default to "not applicable". */
+    void
+    instant(CpuId cpu, Ev ev, int depth, Addr addr = invalidAddr,
+            CpuId other = -1)
+    {
+        if (on)
+            record(ev, Phase::Instant, cpu, depth, addr, other,
+                   Outcome::None, 0);
+    }
+
+    /** Interval with an explicit [start, start+dur) extent. */
+    void
+    span(CpuId cpu, Ev ev, Tick start, Tick dur)
+    {
+        if (on)
+            recordSpan(ev, cpu, start, dur);
+    }
+
+    // --- buffer state ---
+
+    std::size_t eventCount() const { return events.size(); }
+    std::size_t droppedCount() const { return dropped; }
+    void clear();
+
+    /**
+     * Export the buffer as Chrome trace-event JSON: a single object
+     * with otherData (schema, cycle count, buffer accounting) and a
+     * traceEvents array, one event per line so downstream line-based
+     * tools (tools/trace_report) need no full JSON parser.
+     */
+    void writeChromeTrace(std::ostream& os) const;
+
+  private:
+    enum class Phase : std::uint8_t
+    {
+        SliceBegin,
+        SliceEnd,
+        Instant,
+        Complete,
+    };
+
+    struct Event
+    {
+        Tick ts;
+        Tick dur;
+        Addr addr;
+        CpuId cpu;
+        CpuId other;
+        Ev ev;
+        Phase phase;
+        std::uint8_t depth;
+        Outcome outcome;
+    };
+
+    void record(Ev ev, Phase ph, CpuId cpu, int depth, Addr addr,
+                CpuId other, Outcome out, Tick dur);
+    void recordSpan(Ev ev, CpuId cpu, Tick start, Tick dur);
+    void push(const Event& e);
+
+    const EventQueue* clock = nullptr;
+    std::size_t capacity = defaultCapacity;
+    bool on = false;
+    int numCpus = 0;
+    std::size_t dropped = 0;
+    std::vector<Event> events;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_SIM_TRACE_HH

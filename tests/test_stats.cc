@@ -1,0 +1,197 @@
+/**
+ * @file
+ * StatsRegistry unit tests: counter sum() pattern matching (including
+ * the overlap and no-match edge cases), log2 Distribution bucketing,
+ * Formula evaluation, and the schema headers of both dump formats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace tmsim;
+using Dist = StatsRegistry::Distribution;
+
+TEST(StatsSum, ExactNameWithoutStar)
+{
+    StatsRegistry reg;
+    reg.counter("cpu0.loads") += 7;
+    EXPECT_EQ(reg.sum("cpu0.loads"), 7u);
+    EXPECT_EQ(reg.sum("cpu0.stores"), 0u); // never registered
+}
+
+TEST(StatsSum, EmptySuffixMatchesEveryPrefixedCounter)
+{
+    StatsRegistry reg;
+    reg.counter("cpu0.loads") += 1;
+    reg.counter("cpu1.loads") += 2;
+    reg.counter("cpu10.stores") += 4;
+    reg.counter("bus.transfers") += 100;
+    EXPECT_EQ(reg.sum("cpu*"), 7u);
+    EXPECT_EQ(reg.sum("*"), 107u); // empty prefix AND suffix: everything
+}
+
+TEST(StatsSum, EmptyPrefixMatchesEverySuffixedCounter)
+{
+    StatsRegistry reg;
+    reg.counter("cpu0.htm.begins") += 3;
+    reg.counter("cpu1.htm.begins") += 4;
+    reg.counter("cpu1.htm.begins_other") += 8;
+    EXPECT_EQ(reg.sum("*.htm.begins"), 7u);
+}
+
+TEST(StatsSum, PrefixAndSuffixMayNotOverlap)
+{
+    StatsRegistry reg;
+    // "aba" matches prefix "ab" and suffix "ba" only if they may share
+    // the middle character; sum() must require disjoint halves.
+    reg.counter("aba") += 1;
+    reg.counter("abba") += 2;
+    reg.counter("abxba") += 4;
+    EXPECT_EQ(reg.sum("ab*ba"), 6u);
+}
+
+TEST(StatsSum, NoMatchIsZero)
+{
+    StatsRegistry reg;
+    reg.counter("cpu0.loads") += 5;
+    EXPECT_EQ(reg.sum("gpu*"), 0u);
+    EXPECT_EQ(reg.sum("cpu*.misses"), 0u);
+    EXPECT_EQ(reg.sum("*"), 5u);
+}
+
+TEST(StatsSum, SameNameReturnsSameCounter)
+{
+    StatsRegistry reg;
+    StatsRegistry::Counter& a = reg.counter("shared.name");
+    StatsRegistry::Counter& b = reg.counter("shared.name");
+    EXPECT_EQ(&a, &b);
+    a += 3;
+    ++b;
+    EXPECT_EQ(reg.value("shared.name"), 4u);
+}
+
+TEST(Distribution, BucketOfIsLog2Shaped)
+{
+    EXPECT_EQ(Dist::bucketOf(0), 0);
+    EXPECT_EQ(Dist::bucketOf(1), 1);
+    EXPECT_EQ(Dist::bucketOf(2), 2);
+    EXPECT_EQ(Dist::bucketOf(3), 2);
+    EXPECT_EQ(Dist::bucketOf(4), 3);
+    EXPECT_EQ(Dist::bucketOf(7), 3);
+    EXPECT_EQ(Dist::bucketOf(8), 4);
+    EXPECT_EQ(Dist::bucketOf(1023), 10);
+    EXPECT_EQ(Dist::bucketOf(1024), 11);
+    EXPECT_EQ(Dist::bucketOf(~std::uint64_t{0}), 64);
+}
+
+TEST(Distribution, BucketBoundsTileTheFullRange)
+{
+    EXPECT_EQ(Dist::bucketLo(0), 0u);
+    EXPECT_EQ(Dist::bucketHi(0), 0u);
+    for (int b = 1; b < Dist::numBuckets; ++b) {
+        EXPECT_EQ(Dist::bucketLo(b), Dist::bucketHi(b - 1) + 1)
+            << "gap at bucket " << b;
+        EXPECT_EQ(Dist::bucketOf(Dist::bucketLo(b)), b);
+        EXPECT_EQ(Dist::bucketOf(Dist::bucketHi(b)), b);
+    }
+    EXPECT_EQ(Dist::bucketHi(64), ~std::uint64_t{0});
+}
+
+TEST(Distribution, SampleTracksCountMinMaxMeanAndBuckets)
+{
+    StatsRegistry reg;
+    Dist& d = reg.distribution("d");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.min(), 0u);
+    EXPECT_EQ(d.max(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.highestBucket(), -1);
+
+    for (std::uint64_t v : {0ull, 1ull, 3ull, 3ull, 100ull})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_EQ(d.total(), 107u);
+    EXPECT_EQ(d.min(), 0u);
+    EXPECT_EQ(d.max(), 100u);
+    EXPECT_DOUBLE_EQ(d.mean(), 107.0 / 5.0);
+    EXPECT_EQ(d.bucketCount(0), 1u); // {0}
+    EXPECT_EQ(d.bucketCount(1), 1u); // {1}
+    EXPECT_EQ(d.bucketCount(2), 2u); // {2,3}
+    EXPECT_EQ(d.bucketCount(7), 1u); // [64,127]
+    EXPECT_EQ(d.highestBucket(), 7);
+
+    std::uint64_t bucketSum = 0;
+    for (int b = 0; b < Dist::numBuckets; ++b)
+        bucketSum += d.bucketCount(b);
+    EXPECT_EQ(bucketSum, d.count());
+
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.highestBucket(), -1);
+}
+
+TEST(Formula, EvaluatesLazilyAgainstCurrentCounters)
+{
+    StatsRegistry reg;
+    reg.counter("cpu0.hits") += 3;
+    reg.counter("cpu1.hits") += 1;
+    reg.counter("cpu0.accesses") += 8;
+    reg.counter("cpu1.accesses") += 8;
+    reg.formula("hit_rate", "cpu*.hits", "cpu*.accesses");
+    EXPECT_DOUBLE_EQ(reg.formulaValue("hit_rate"), 4.0 / 16.0);
+
+    reg.counter("cpu0.hits") += 4; // formulas never go stale
+    EXPECT_DOUBLE_EQ(reg.formulaValue("hit_rate"), 8.0 / 16.0);
+
+    reg.formula("div_zero", "cpu*.hits", "cpu*.misses");
+    EXPECT_DOUBLE_EQ(reg.formulaValue("div_zero"), 0.0);
+    EXPECT_DOUBLE_EQ(reg.formulaValue("no_such_formula"), 0.0);
+}
+
+TEST(Dump, TextDumpLeadsWithSchemaHeader)
+{
+    StatsRegistry reg;
+    reg.counter("a.b") += 2;
+    reg.distribution("lat").sample(5);
+    reg.formula("ratio", "a.b", "a.b");
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string text = os.str();
+    EXPECT_EQ(text.rfind("# tmsim-stats schema 2\n", 0), 0u)
+        << "dump must lead with the schema header, got: " << text;
+    EXPECT_NE(text.find("a.b 2\n"), std::string::npos);
+    EXPECT_NE(text.find("lat::samples 1\n"), std::string::npos);
+    EXPECT_NE(text.find("lat::bucket[4,7] 1\n"), std::string::npos);
+    EXPECT_NE(text.find("ratio 1\n"), std::string::npos);
+}
+
+TEST(Dump, JsonDumpCarriesSchemaAndAllThreeKinds)
+{
+    StatsRegistry reg;
+    reg.counter("a.b") += 2;
+    reg.distribution("lat").sample(5);
+    reg.formula("ratio", "a.b", "a.b");
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"schema\": \"tmsim-stats\""), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"a.b\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"samples\": 1"), std::string::npos);
+    EXPECT_NE(json.find("{\"lo\": 4, \"hi\": 7, \"count\": 1}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"numerator\": \"a.b\""), std::string::npos);
+}
+
+TEST(Reset, ResetAllZeroesCountersAndDistributions)
+{
+    StatsRegistry reg;
+    reg.counter("c") += 9;
+    reg.distribution("d").sample(9);
+    reg.resetAll();
+    EXPECT_EQ(reg.value("c"), 0u);
+    EXPECT_EQ(reg.findDistribution("d")->count(), 0u);
+}

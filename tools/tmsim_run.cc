@@ -12,11 +12,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 #include "workloads/kernel_condsync.hh"
 #include "workloads/kernel_iobench.hh"
 #include "workloads/kernel_mp3d.hh"
@@ -93,6 +95,11 @@ usage()
         "  --granularity line|word    (conflict tracking)\n"
         "  --no-backoff         disable retry backoff\n"
         "  --stats              dump every counter after the run\n"
+        "  --trace FILE         write a Chrome trace-event JSON of every\n"
+        "                       transaction lifecycle event (Perfetto)\n"
+        "  --json-stats FILE    write the full stats registry as JSON\n"
+        "  --quiet              suppress simulator log output (default:\n"
+        "                       warnings and above are shown)\n"
         "  --list               list kernels\n");
 }
 
@@ -102,9 +109,12 @@ int
 main(int argc, char** argv)
 {
     std::string kernelName;
+    std::string traceFile;
+    std::string jsonStatsFile;
     int cpus = 8;
     HtmConfig htm = HtmConfig::paperLazy();
     bool dumpStats = false;
+    bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -143,6 +153,12 @@ main(int argc, char** argv)
             htm.retryBackoff = false;
         } else if (arg == "--stats") {
             dumpStats = true;
+        } else if (arg == "--trace") {
+            traceFile = next();
+        } else if (arg == "--json-stats") {
+            jsonStatsFile = next();
+        } else if (arg == "--quiet") {
+            quiet = true;
         } else if (arg == "--list") {
             for (const char* n : kernelNames)
                 std::printf("%s\n", n);
@@ -167,12 +183,14 @@ main(int argc, char** argv)
     if (cpus < 1 || cpus > 64)
         fatal("--cpus must be in [1, 64]");
 
-    setQuiet(true);
+    setQuiet(quiet);
 
     MachineConfig cfg;
     cfg.numCpus = cpus;
     cfg.htm = htm;
     Machine m(cfg);
+    if (!traceFile.empty())
+        m.tracer().enable(true);
     kernel->init(m, cpus);
 
     std::vector<std::unique_ptr<TxThread>> threads;
@@ -220,6 +238,24 @@ main(int argc, char** argv)
     if (dumpStats) {
         std::printf("---- stats ----\n");
         m.stats().dump(std::cout);
+    }
+    if (!traceFile.empty()) {
+        std::ofstream os(traceFile);
+        if (!os)
+            fatal("cannot open trace file '%s'", traceFile.c_str());
+        m.tracer().writeChromeTrace(os);
+        if (m.tracer().droppedCount())
+            std::fprintf(stderr,
+                         "warning: trace buffer full, %llu event(s) "
+                         "dropped\n",
+                         static_cast<unsigned long long>(
+                             m.tracer().droppedCount()));
+    }
+    if (!jsonStatsFile.empty()) {
+        std::ofstream os(jsonStatsFile);
+        if (!os)
+            fatal("cannot open stats file '%s'", jsonStatsFile.c_str());
+        m.stats().dumpJson(os);
     }
     return verified ? 0 : 1;
 }

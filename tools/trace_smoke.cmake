@@ -1,0 +1,35 @@
+# Observability smoke test (ctest: trace_smoke).
+# Runs mp3d with --trace/--json-stats, then self-validates the trace
+# with trace_report --check and sanity-checks both output files.
+
+set(trace "${WORK_DIR}/smoke.trace.json")
+set(stats "${WORK_DIR}/smoke.stats.json")
+
+execute_process(
+    COMMAND ${TMSIM_RUN} --kernel mp3d --cpus 8 --quiet
+            --trace ${trace} --json-stats ${stats}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "tmsim_run failed (rc=${rc})")
+endif()
+
+foreach(f ${trace} ${stats})
+    if(NOT EXISTS ${f})
+        message(FATAL_ERROR "missing output file ${f}")
+    endif()
+endforeach()
+
+file(READ ${stats} statsText)
+if(NOT statsText MATCHES "\"schema\": \"tmsim-stats\"")
+    message(FATAL_ERROR "stats JSON missing schema header")
+endif()
+if(NOT statsText MATCHES "\"distributions\"")
+    message(FATAL_ERROR "stats JSON missing distributions")
+endif()
+
+execute_process(
+    COMMAND ${TRACE_REPORT} ${trace} --check
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace_report --check failed (rc=${rc})")
+endif()
