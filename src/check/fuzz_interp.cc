@@ -1,0 +1,421 @@
+#include "check/fuzz_interp.hh"
+
+#include <memory>
+
+namespace tmsim {
+
+namespace {
+
+// Handler bodies registered by fuzz programs. They only touch the
+// unchecked Scratch region (via idempotent stores), so they are
+// invisible to the oracle no matter how often handlers fire.
+
+SimTask
+fuzzScratchStoreHandler(TxThread& th, const std::vector<Word>& args)
+{
+    co_await th.cpu().imstid(args[0], args[1]);
+}
+
+Task<VioAction>
+fuzzViolationHandler(TxThread& th, const ViolationInfo&,
+                     const std::vector<Word>& args)
+{
+    co_await th.cpu().imstid(args[0], 1);
+    co_return VioAction::Proceed;
+}
+
+} // namespace
+
+FuzzInterp::FuzzInterp(const FuzzProgram& program, const HtmConfig& htm)
+    : prog(program), htmCfg(htm)
+{
+    layout.slots = prog.slotsPerRegion;
+    pending.assign(static_cast<size_t>(prog.numThreads()), -1);
+    frames.resize(static_cast<size_t>(prog.numThreads()));
+}
+
+Addr
+FuzzInterp::trackUnitOf(Addr a) const
+{
+    if (htmCfg.granularity == TrackGranularity::Word)
+        return a & ~(wordBytes - 1);
+    return a & ~(lineBytes - 1);
+}
+
+void
+FuzzInterp::setError(const std::string& msg)
+{
+    if (rec.error.empty())
+        rec.error = msg;
+}
+
+void
+FuzzInterp::attach(Machine& m)
+{
+    lineBytes = m.config().l1.lineBytes;
+    // Line-align each region so no track unit spans two regions.
+    const Addr regionBytes =
+        static_cast<Addr>(layout.slots) * wordBytes;
+    layout.regionStride =
+        (regionBytes + lineBytes - 1) & ~(lineBytes - 1);
+    layout.base = m.memory().allocate(
+        static_cast<Addr>(numRegions) * layout.regionStride, lineBytes);
+    for (int r = 0; r < numRegions; ++r) {
+        for (int s = 0; s < layout.slots; ++s) {
+            const Region reg = static_cast<Region>(r);
+            m.memory().write(layout.addrOf(reg, s),
+                             FuzzLayout::initValue(reg, s));
+        }
+    }
+    rec.layout = layout;
+
+    m.setCommitOrderHooks(
+        [this](CpuId cpu, bool open) { onSerialized(cpu, open); },
+        [this](CpuId cpu) { onCancelled(cpu); });
+}
+
+void
+FuzzInterp::onSerialized(CpuId cpu, bool open)
+{
+    if (cpu < 0 || cpu >= static_cast<CpuId>(pending.size())) {
+        setError("serialize hook from unexpected cpu");
+        return;
+    }
+    if (pending[cpu] != -1) {
+        setError("cpu serialized a second unit before filling the "
+                 "first (recorder invariant broken)");
+        return;
+    }
+    ObservedUnit u;
+    u.kind = open ? ObservedUnit::Kind::OpenCommit
+                  : ObservedUnit::Kind::TxCommit;
+    u.cpu = cpu;
+    pending[cpu] = static_cast<int>(rec.units.size());
+    rec.units.push_back(std::move(u));
+}
+
+void
+FuzzInterp::onCancelled(CpuId cpu)
+{
+    if (cpu < 0 || cpu >= static_cast<CpuId>(pending.size()) ||
+        pending[static_cast<size_t>(cpu)] == -1) {
+        setError("serialize-cancel with no pending unit");
+        return;
+    }
+    rec.units[static_cast<size_t>(pending[cpu])].dead = true;
+    pending[cpu] = -1;
+}
+
+void
+FuzzInterp::attachCommit(CpuId cpu, ObservedUnit::Kind kind,
+                         std::vector<ObservedAccess> accesses)
+{
+    if (cpu < 0 || cpu >= static_cast<CpuId>(pending.size()) ||
+        pending[static_cast<size_t>(cpu)] == -1) {
+        setError("commit completed without a serialization point");
+        return;
+    }
+    ObservedUnit& u = rec.units[static_cast<size_t>(pending[cpu])];
+    if (u.kind != kind) {
+        setError("commit kind does not match its serialization record");
+        return;
+    }
+    u.accesses = std::move(accesses);
+    u.filled = true;
+    pending[cpu] = -1;
+}
+
+void
+FuzzInterp::recordNaked(ObservedUnit::Kind kind, CpuId cpu, Addr a,
+                        Word v)
+{
+    ObservedUnit u;
+    u.kind = kind;
+    u.cpu = cpu;
+    u.addr = a;
+    u.value = v;
+    u.filled = true;
+    rec.units.push_back(std::move(u));
+}
+
+void
+FuzzInterp::enterAttempt(int tid, int depth)
+{
+    auto& st = frames[static_cast<size_t>(tid)];
+    while (!st.empty() && st.back().depth >= depth)
+        st.pop_back();
+    st.push_back(Frame{depth, {}});
+}
+
+void
+FuzzInterp::logAccess(int tid, ObservedAccess::Kind kind, Addr a,
+                      Word v)
+{
+    auto& st = frames[static_cast<size_t>(tid)];
+    if (st.empty()) {
+        setError("access logged outside any transaction frame");
+        return;
+    }
+    st.back().accesses.push_back(ObservedAccess{kind, a, v});
+}
+
+void
+FuzzInterp::markReleased(int tid, Addr unit)
+{
+    // Conservative: a release drops the whole track unit from the
+    // top-level read-set under flattening, so un-check matching reads
+    // in every live frame of this thread.
+    for (Frame& f : frames[static_cast<size_t>(tid)]) {
+        for (ObservedAccess& a : f.accesses) {
+            if (a.kind == ObservedAccess::Kind::Read &&
+                trackUnitOf(a.addr) == unit) {
+                a.kind = ObservedAccess::Kind::ReadUnchecked;
+            }
+        }
+    }
+}
+
+SimTask
+FuzzInterp::execBody(TxThread& t, int tid, int tx_idx, int depth)
+{
+    const FuzzTx& tx = prog.txs[static_cast<size_t>(tx_idx)];
+    for (const FuzzOp& op : tx.ops) {
+        const Addr a = layout.addrOf(op.region, op.slot);
+        switch (op.kind) {
+        case FuzzOpKind::TxRead: {
+            const Word v = co_await t.ld(a);
+            logAccess(tid, ObservedAccess::Kind::Read, a, v);
+            break;
+        }
+        case FuzzOpKind::TxAdd: {
+            const Word v = co_await t.ld(a);
+            co_await t.st(a, v + op.value);
+            logAccess(tid, ObservedAccess::Kind::Read, a, v);
+            logAccess(tid, ObservedAccess::Kind::Write, a, v + op.value);
+            break;
+        }
+        case FuzzOpKind::Release:
+            co_await t.cpu().release(a);
+            markReleased(tid, trackUnitOf(a));
+            break;
+        case FuzzOpKind::ImmRead:
+            co_await t.cpu().imld(a);
+            break;
+        case FuzzOpKind::ImmStore:
+            co_await t.cpu().imst(a, op.value);
+            break;
+        case FuzzOpKind::ImmStoreIdem:
+            co_await t.cpu().imstid(a, op.value);
+            break;
+        case FuzzOpKind::Exec:
+            co_await t.work(op.value);
+            break;
+        case FuzzOpKind::HandlerCommit: {
+            std::vector<Word> args;
+            args.push_back(a);
+            args.push_back(op.value + 1);
+            co_await t.onCommit(fuzzScratchStoreHandler,
+                                std::move(args));
+            break;
+        }
+        case FuzzOpKind::HandlerViolation: {
+            std::vector<Word> args;
+            args.push_back(a);
+            co_await t.onViolation(fuzzViolationHandler,
+                                   std::move(args));
+            break;
+        }
+        case FuzzOpKind::HandlerAbort: {
+            std::vector<Word> args;
+            args.push_back(a);
+            args.push_back(op.value + 2);
+            co_await t.onAbort(fuzzScratchStoreHandler,
+                               std::move(args));
+            break;
+        }
+        case FuzzOpKind::Abort:
+            co_await t.cpu().xabort(op.value);
+            break;
+        case FuzzOpKind::Nest:
+            co_await runTxNode(t, tid, op.child, depth + 1);
+            break;
+        }
+    }
+}
+
+SimTask
+FuzzInterp::runTxNode(TxThread& t, int tid, int tx_idx, int depth)
+{
+    const FuzzTx& tx = prog.txs[static_cast<size_t>(tx_idx)];
+    TxBody body = [this, tid, tx_idx, depth](TxThread& th) -> SimTask {
+        enterAttempt(tid, depth);
+        co_await execBody(th, tid, tx_idx, depth);
+    };
+    TxOutcome out;
+    try {
+        // Keep each co_await unconditional: a conditional expression
+        // with co_await in both arms is miscompiled by this toolchain.
+        if (tx.open)
+            out = co_await t.atomicOpen(body);
+        else
+            out = co_await t.atomic(body);
+    } catch (...) {
+        // An ancestor-level rollback unwound through this transaction
+        // before its atomic() could return. If this is an open-nested
+        // child whose xcommit already applied memory, the cpu still
+        // holds its serialization slot (the hardware cancel correctly
+        // did not fire for a durable commit): attach it on the way out
+        // so the slot is filled before the ancestor's retry serializes
+        // again. A child that had only validated was cancelled by
+        // rawRollback and leaves no pending slot.
+        const CpuId cpu = t.cpu().id();
+        if (tx.open && depth > 1 && cpu >= 0 &&
+            cpu < static_cast<CpuId>(pending.size()) &&
+            pending[static_cast<size_t>(cpu)] != -1) {
+            auto& st = frames[static_cast<size_t>(tid)];
+            if (!st.empty() && st.back().depth == depth) {
+                attachCommit(cpu, ObservedUnit::Kind::OpenCommit,
+                             std::move(st.back().accesses));
+                st.pop_back();
+            } else {
+                setError("open commit unwound with no matching frame");
+            }
+        }
+        throw;
+    }
+
+    auto& st = frames[static_cast<size_t>(tid)];
+    if (!out.committed()) {
+        // Voluntary abort: the attempt's frames are dead.
+        while (!st.empty() && st.back().depth >= depth)
+            st.pop_back();
+        co_return;
+    }
+
+    if (st.empty() || st.back().depth != depth) {
+        setError("frame stack out of sync at commit");
+        co_return;
+    }
+    Frame f = std::move(st.back());
+    st.pop_back();
+
+    // A unit commits memory iff it is the outermost level, or an
+    // open-nested level under full nesting (flattening subsumes it).
+    const bool memoryCommit =
+        depth == 1 || (tx.open && htmCfg.nesting == NestingMode::Full);
+    if (memoryCommit) {
+        attachCommit(t.cpu().id(),
+                     tx.open && depth > 1 ? ObservedUnit::Kind::OpenCommit
+                                          : ObservedUnit::Kind::TxCommit,
+                     std::move(f.accesses));
+    } else {
+        // Closed-nested (or flatten-subsumed) commit: fold the child's
+        // accesses into the enclosing attempt.
+        if (st.empty()) {
+            setError("nested commit with no enclosing frame");
+            co_return;
+        }
+        Frame& parent = st.back();
+        parent.accesses.insert(parent.accesses.end(),
+                               f.accesses.begin(), f.accesses.end());
+    }
+}
+
+SimTask
+FuzzInterp::threadBody(TxThread& t, int tid)
+{
+    if (tid >= prog.numThreads())
+        co_return;
+    const auto& ops = prog.threads[static_cast<size_t>(tid)];
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const ThreadOp& op = ops[i];
+        switch (op.kind) {
+        case ThreadOpKind::RunTx:
+            co_await runTxNode(t, tid, op.tx, 1);
+            break;
+        case ThreadOpKind::NakedLoad: {
+            const Addr a = layout.addrOf(op.region, op.slot);
+            const Word v = co_await t.ld(a);
+            recordNaked(ObservedUnit::Kind::NakedLoad, t.cpu().id(), a,
+                        v);
+            break;
+        }
+        case ThreadOpKind::NakedStore: {
+            const Addr a = layout.addrOf(op.region, op.slot);
+            co_await t.st(a, op.value);
+            recordNaked(ObservedUnit::Kind::NakedStore, t.cpu().id(), a,
+                        op.value);
+            break;
+        }
+        case ThreadOpKind::Work:
+            co_await t.work(op.value);
+            break;
+        }
+        // Self-test bug injection: a deliberately unrecorded store the
+        // oracle must catch (validates the whole checking pipeline).
+        if (tid == 0 && prog.injectHiddenStoreAfter == static_cast<int>(i))
+            co_await t.st(layout.addrOf(Region::Shared, 0),
+                          0xDEADBEEFull);
+    }
+}
+
+ObservedRun
+FuzzInterp::finish(Machine& m, bool hang)
+{
+    rec.hang = hang;
+    if (!hang) {
+        for (size_t c = 0; c < pending.size(); ++c) {
+            if (pending[c] != -1)
+                setError("run ended with an unfilled serialized unit");
+        }
+        for (const ObservedUnit& u : rec.units) {
+            if (!u.dead && !u.filled)
+                setError("serialized unit never filled or cancelled");
+        }
+    }
+    for (int r = 0; r < numRegions; ++r) {
+        const Region reg = static_cast<Region>(r);
+        if (!regionChecked(reg))
+            continue;
+        for (int s = 0; s < layout.slots; ++s) {
+            const Addr a = layout.addrOf(reg, s);
+            const Word v = m.memory().read(a);
+            rec.finalChecked.emplace_back(a, v);
+            if (regionInvariant(reg))
+                rec.finalInvariant.emplace_back(a, v);
+        }
+    }
+    return std::move(rec);
+}
+
+ObservedRun
+FuzzInterp::run(Tick max_ticks)
+{
+    MachineConfig cfg;
+    cfg.numCpus = prog.numThreads();
+    cfg.htm = htmCfg;
+    cfg.memBytes = 4ull * 1024 * 1024;
+    Machine m(cfg);
+    attach(m);
+
+    std::vector<std::unique_ptr<TxThread>> threads;
+    threads.reserve(static_cast<size_t>(prog.numThreads()));
+    for (int i = 0; i < prog.numThreads(); ++i)
+        threads.push_back(std::make_unique<TxThread>(m.cpu(i)));
+    for (int i = 0; i < prog.numThreads(); ++i) {
+        TxThread* t = threads[static_cast<size_t>(i)].get();
+        m.spawn(i, [this, t, i](Cpu&) -> SimTask {
+            co_await threadBody(*t, i);
+        });
+    }
+
+    try {
+        m.run(max_ticks);
+    } catch (const std::exception& e) {
+        setError(std::string("exception escaped simulation: ") +
+                 e.what());
+    }
+    return finish(m, !m.allDone() && rec.error.empty());
+}
+
+} // namespace tmsim

@@ -1,0 +1,136 @@
+#include "check/oracle.hh"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace tmsim {
+
+namespace {
+
+const char*
+unitKindName(ObservedUnit::Kind k)
+{
+    switch (k) {
+    case ObservedUnit::Kind::TxCommit: return "tx-commit";
+    case ObservedUnit::Kind::OpenCommit: return "open-commit";
+    case ObservedUnit::Kind::NakedLoad: return "naked-load";
+    case ObservedUnit::Kind::NakedStore: return "naked-store";
+    }
+    return "?";
+}
+
+OracleVerdict
+failAt(size_t unit_idx, const ObservedUnit& u, const std::string& what)
+{
+    std::ostringstream os;
+    os << "unit " << unit_idx << " (" << unitKindName(u.kind) << ", cpu "
+       << u.cpu << "): " << what;
+    return OracleVerdict{false, os.str()};
+}
+
+std::string
+hex(Word v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+} // namespace
+
+OracleVerdict
+checkRun(const FuzzProgram& program, const ObservedRun& run)
+{
+    if (!run.error.empty())
+        return OracleVerdict{false, "recorder error: " + run.error};
+    if (run.hang)
+        return OracleVerdict{false, "simulation hit the tick limit "
+                                    "without completing"};
+
+    // Golden model: only words of checked regions exist in it.
+    std::unordered_map<Addr, Word> model;
+    for (int r = 0; r < numRegions; ++r) {
+        const Region reg = static_cast<Region>(r);
+        if (!regionChecked(reg))
+            continue;
+        for (int s = 0; s < program.slotsPerRegion; ++s) {
+            model[run.layout.addrOf(reg, s)] =
+                FuzzLayout::initValue(reg, s);
+        }
+    }
+
+    for (size_t i = 0; i < run.units.size(); ++i) {
+        const ObservedUnit& u = run.units[i];
+        if (u.dead)
+            continue;
+        if (!u.filled)
+            return failAt(i, u, "serialized but never filled");
+        switch (u.kind) {
+        case ObservedUnit::Kind::NakedLoad: {
+            auto it = model.find(u.addr);
+            if (it == model.end())
+                return failAt(i, u, "load of unchecked word " +
+                                        hex(u.addr));
+            if (it->second != u.value) {
+                return failAt(i, u,
+                              "non-tx load of " + hex(u.addr) +
+                                  " observed " + hex(u.value) +
+                                  " but the serial model holds " +
+                                  hex(it->second));
+            }
+            break;
+        }
+        case ObservedUnit::Kind::NakedStore: {
+            auto it = model.find(u.addr);
+            if (it == model.end())
+                return failAt(i, u, "store to unchecked word " +
+                                        hex(u.addr));
+            it->second = u.value;
+            break;
+        }
+        case ObservedUnit::Kind::TxCommit:
+        case ObservedUnit::Kind::OpenCommit:
+            for (const ObservedAccess& a : u.accesses) {
+                auto it = model.find(a.addr);
+                if (it == model.end())
+                    return failAt(i, u, "access to unchecked word " +
+                                            hex(a.addr));
+                switch (a.kind) {
+                case ObservedAccess::Kind::Read:
+                    if (it->second != a.value) {
+                        return failAt(
+                            i, u,
+                            "committed read of " + hex(a.addr) +
+                                " observed " + hex(a.value) +
+                                " but the serial model holds " +
+                                hex(it->second));
+                    }
+                    break;
+                case ObservedAccess::Kind::ReadUnchecked:
+                    break;
+                case ObservedAccess::Kind::Write:
+                    it->second = a.value;
+                    break;
+                }
+            }
+            break;
+        }
+    }
+
+    for (const auto& [addr, value] : run.finalChecked) {
+        auto it = model.find(addr);
+        if (it == model.end())
+            return OracleVerdict{false, "final snapshot covers "
+                                        "unmodelled word " + hex(addr)};
+        if (it->second != value) {
+            return OracleVerdict{
+                false, "final memory mismatch at " + hex(addr) +
+                           ": backing store holds " + hex(value) +
+                           " but replaying the commit order gives " +
+                           hex(it->second)};
+        }
+    }
+    return OracleVerdict{};
+}
+
+} // namespace tmsim

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Serializability oracle: replays an ObservedRun's serialization units
+ * against a golden sequential memory model and flags any committed
+ * read value or final backing-store word that no serial execution in
+ * the observed commit order could have produced.
+ */
+
+#ifndef TMSIM_CHECK_ORACLE_HH
+#define TMSIM_CHECK_ORACLE_HH
+
+#include <string>
+
+#include "check/fuzz_interp.hh"
+#include "check/fuzz_program.hh"
+
+namespace tmsim {
+
+struct OracleVerdict
+{
+    bool ok = true;
+    std::string message;
+};
+
+/**
+ * Golden-model check of one execution:
+ *  - the run must have completed (no hang, no recorder error);
+ *  - every non-dead unit replayed in serialization order must read the
+ *    model value (checked reads) and its writes update the model;
+ *  - the final backing store of every checked region must equal the
+ *    model word-for-word.
+ */
+OracleVerdict checkRun(const FuzzProgram& program,
+                       const ObservedRun& run);
+
+} // namespace tmsim
+
+#endif // TMSIM_CHECK_ORACLE_HH

@@ -98,6 +98,9 @@ Cpu::deliverViolations()
         ++statViolationsTaken;
         tr->instant(cpuId, TxTracer::Ev::ViolationDelivered, ctx.depth(),
                     ctx.xvaddr(), ctx.xvattacker());
+        // The report registers are now saved into the handler frame;
+        // a conflict raised while the handler runs gets its own report.
+        ctx.consumeReport();
         if (violationProtocol)
             co_await violationProtocol(*this);
         else
@@ -138,6 +141,15 @@ Cpu::rawRollback(int target_level)
         }
     } else {
         ++statRollbacksToInner;
+    }
+    // Retract serialisation slots of validated levels about to unwind
+    // (an open-nested child validated, then an ancestor was violated
+    // before the child's xcommit applied anything).
+    if (target_level >= 1 && target_level <= ctx.depth()) {
+        const std::uint32_t doomed =
+            ctx.validatedLevels() & ~((1u << (target_level - 1)) - 1);
+        for (std::uint32_t m = doomed; m; m &= m - 1)
+            memSys.notifySerializeCancelled(cpuId);
     }
     for (int lvl = ctx.depth(); lvl >= target_level; --lvl) {
         auto it = lockedAtLevel.find(lvl);
@@ -195,6 +207,16 @@ Cpu::load(Addr addr)
         co_await deliverViolations();
 
     if (!ctx.inTx()) {
+        // A validated peer that wrote this unit is already serialised
+        // before us; wait for its commit instead of returning the
+        // value it is about to replace.
+        while (det.lockedByOther(ctx, unit) ||
+               det.validatedPeerBlocks(cpuId, unit, false)) {
+            if (det.lockedByOther(ctx, unit))
+                co_await det.waitUnlocked(ctx, unit);
+            else
+                co_await Delay{eq, 2};
+        }
         co_return det.resolveNonTxLoad(cpuId, addr,
                                        memSys.memory().read(addr));
     }
@@ -233,6 +255,17 @@ Cpu::store(Addr addr, Word value)
         co_await deliverViolations();
 
     if (!ctx.inTx()) {
+        // A validated peer with this unit in its read- or write-set is
+        // already serialised before us: storing now would clobber a
+        // value its commit depends on (or lose ours under its pending
+        // write-back). Stall until it commits.
+        while (det.lockedByOther(ctx, unit) ||
+               det.validatedPeerBlocks(cpuId, unit, true)) {
+            if (det.lockedByOther(ctx, unit))
+                co_await det.waitUnlocked(ctx, unit);
+            else
+                co_await Delay{eq, 2};
+        }
         // Strong atomicity: a non-transactional store violates every
         // transaction speculating on the unit and updates memory now;
         // in-place speculative writers get their undo entries patched
@@ -328,6 +361,7 @@ Cpu::xvalidate()
         // Eager systems resolved every conflict at access time; once no
         // violation is pending, all prior accesses are conflict-free.
         ctx.setTopValidated();
+        memSys.notifySerialized(cpuId, !outermost);
         co_return;
     }
 
@@ -344,6 +378,7 @@ Cpu::xvalidate()
         if (lines.empty()) {
             // Read-only transaction: nothing to broadcast or pin.
             ctx.setTopValidated();
+            memSys.notifySerialized(cpuId, !outermost);
             co_return;
         }
         bool waited = false;
@@ -368,6 +403,7 @@ Cpu::xvalidate()
         det.lockLines(ctx, lines);
         lockedAtLevel[ctx.depth()] = lines;
         ctx.setTopValidated();
+        memSys.notifySerialized(cpuId, !outermost);
 
         const Addr unitBytes =
             ctx.config().granularity == TrackGranularity::Word
@@ -414,8 +450,14 @@ Cpu::xcommit()
 
     const std::vector<Addr>& lines = ctx.topWriteLines();
     Cycles cost = ctx.commitTopToMemory();
-    for (Addr unit : lines)
-        memSys.commitInvalidate(cpuId, ctx.lineOf(unit));
+    // Under word-granular tracking several units share a line; snoop
+    // each line once, not once per written word.
+    invalidateScratch.clear();
+    for (Addr unit : lines) {
+        const Addr line = ctx.lineOf(unit);
+        if (invalidateScratch.insert(line).second)
+            memSys.commitInvalidate(cpuId, line);
+    }
     auto it = lockedAtLevel.find(ctx.depth());
     if (it != lockedAtLevel.end()) {
         det.unlockLines(ctx, it->second);

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/mem_system.hh"
@@ -184,6 +185,10 @@ class Cpu
 
     /** Lines locked at xvalidate, per nesting level, until xcommit. */
     std::unordered_map<int, std::vector<Addr>> lockedAtLevel;
+
+    /** Scratch set reused by xcommit to dedupe per-word track units to
+     *  whole lines before commit-invalidating peers. */
+    std::unordered_set<Addr> invalidateScratch;
 
     std::uint64_t instrRetired = 0;
     std::uint64_t violationsDelivered = 0;

@@ -57,6 +57,21 @@ class Machine
     const MachineConfig& config() const { return cfg; }
     Tick now() const { return eq.curTick(); }
 
+    /**
+     * Observe the chip-global commit (serialisation) order: forwards to
+     * MemSystem::setCommitOrderHooks. @p on_serialized fires once per
+     * memory-committing level at its serialisation point;
+     * @p on_cancelled retracts a validated level that rolled back
+     * before committing. Used by the check/ oracle layer.
+     */
+    void
+    setCommitOrderHooks(MemSystem::SerializeFn on_serialized,
+                        MemSystem::SerializeCancelFn on_cancelled)
+    {
+        memSys->setCommitOrderHooks(std::move(on_serialized),
+                                    std::move(on_cancelled));
+    }
+
     /** A logical thread body bound to one CPU. */
     using ThreadFn = std::function<SimTask(Cpu&)>;
 

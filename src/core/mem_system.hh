@@ -7,6 +7,7 @@
 #ifndef TMSIM_CORE_MEM_SYSTEM_HH
 #define TMSIM_CORE_MEM_SYSTEM_HH
 
+#include <functional>
 #include <vector>
 
 #include "htm/conflict_detector.hh"
@@ -68,6 +69,45 @@ class MemSystem
      */
     void commitInvalidate(CpuId committer, Addr line_addr);
 
+    // --- commit-order observation ---
+    //
+    // A transaction's serialisation point is the instant its top level
+    // becomes Validated (lazy: commit-token broadcast; eager: all
+    // access-time conflicts resolved). The hooks below let an external
+    // oracle record the chip-global serialisation order of every
+    // memory-committing level: outermost commits (open=false) and
+    // open-nested commits (open=true). A validated level that is
+    // nevertheless rolled back (an open-nested child unwound by a
+    // violation against an ancestor) retracts its slot via the cancel
+    // hook before any memory effect.
+
+    /** Called at each serialisation point: (cpu, open_nested). */
+    using SerializeFn = std::function<void(CpuId, bool)>;
+    /** Called when a validated-but-uncommitted level rolls back. */
+    using SerializeCancelFn = std::function<void(CpuId)>;
+
+    void
+    setCommitOrderHooks(SerializeFn on_serialized,
+                        SerializeCancelFn on_cancelled)
+    {
+        serializedHook = std::move(on_serialized);
+        cancelHook = std::move(on_cancelled);
+    }
+
+    void
+    notifySerialized(CpuId cpu, bool open)
+    {
+        if (serializedHook)
+            serializedHook(cpu, open);
+    }
+
+    void
+    notifySerializeCancelled(CpuId cpu)
+    {
+        if (cancelHook)
+            cancelHook(cpu);
+    }
+
   private:
     struct CpuPort
     {
@@ -81,6 +121,8 @@ class MemSystem
 
     EventQueue& eq;
     StatsRegistry& statsReg;
+    SerializeFn serializedHook;
+    SerializeCancelFn cancelHook;
     BackingStore store;
     Bus sysBus;
     ConflictDetector det;

@@ -344,6 +344,23 @@ ConflictDetector::patchInPlaceWriters(CpuId cpu, Addr line_addr,
 }
 
 bool
+ConflictDetector::validatedPeerBlocks(CpuId cpu, Addr unit,
+                                      bool is_store) const
+{
+    const SharerEntry* e = lookupSharers(unit, is_store, true);
+    if (!e)
+        return false;
+    for (const SharerSlot& s : e->sharers) {
+        if (s.ctx->cpuId() == cpu || !s.ctx->inTx())
+            continue;
+        std::uint32_t mask = s.writers | (is_store ? s.readers : 0);
+        if (mask & s.ctx->validatedLevels())
+            return true;
+    }
+    return false;
+}
+
+bool
 ConflictDetector::nonTxLoadMustStall(CpuId cpu, Addr line) const
 {
     auto it = lockOwner.find(line);

@@ -116,6 +116,18 @@ class ConflictDetector : public SharerIndexListener
     bool nonTxLoadMustStall(CpuId cpu, Addr line) const;
 
     /**
+     * True if a context other than @p cpu has a Validated (committing)
+     * level whose write-set — or, for a store, read-set too — contains
+     * @p unit. A validated transaction is already serialised; a
+     * non-transactional access that would conflict with its sets must
+     * stall until it commits, rather than read data the commit is about
+     * to replace or clobber a value the committer depends on. Lazy
+     * mode's line locks only pin the write-set; this also covers the
+     * validated read-set and the eager validate-to-commit window.
+     */
+    bool validatedPeerBlocks(CpuId cpu, Addr unit, bool is_store) const;
+
+    /**
      * Strong-atomicity value resolution for a non-transactional load:
      * if another context holds an uncommitted in-place (undo-log)
      * write of the word, return the committed value from its undo log

@@ -352,19 +352,21 @@ HtmContext::wroteWordInPlace(Addr word_addr) const
 Word
 HtmContext::oldestUndoValue(Addr word_addr) const
 {
-    for (const auto& entry : undoLog)
-        if (entry.addr == word_addr)
-            return entry.oldValue;
-    panic("oldestUndoValue: no undo entry for 0x%llx",
-          static_cast<unsigned long long>(word_addr));
+    auto it = undoIndex.find(word_addr);
+    if (it == undoIndex.end() || it->second.empty())
+        panic("oldestUndoValue: no undo entry for 0x%llx",
+              static_cast<unsigned long long>(word_addr));
+    return undoLog[it->second.front()].oldValue;
 }
 
 void
 HtmContext::patchUndoEntries(Addr word_addr, Word value)
 {
-    for (auto& entry : undoLog)
-        if (entry.addr == word_addr)
-            entry.oldValue = value;
+    auto it = undoIndex.find(word_addr);
+    if (it == undoIndex.end())
+        return;
+    for (size_t i : it->second)
+        undoLog[i].oldValue = value;
 }
 
 void
@@ -500,7 +502,7 @@ HtmContext::commitTopToMemory()
                 }
             }
         }
-        undoLog.resize(t.undoBase);
+        truncateUndo(t.undoBase);
     }
     return cost;
 }
@@ -541,11 +543,11 @@ HtmContext::rollbackTo(int target)
         TxLevel& t = levels.back();
         // Restore in-place speculative writes (undo-log stores and any
         // imst undo records) in FILO order.
-        while (undoLog.size() > t.undoBase) {
-            const UndoEntry& e = undoLog.back();
+        for (size_t i = undoLog.size(); i > t.undoBase; --i) {
+            const UndoEntry& e = undoLog[i - 1];
             mem.write(e.addr, e.oldValue);
-            undoLog.pop_back();
         }
+        truncateUndo(t.undoBase);
         if (l1)
             l1->clearLevel(lvl);
         if (l2)
@@ -557,6 +559,7 @@ HtmContext::rollbackTo(int target)
         ++statRollbacks;
         tracer->endTx(id, lvl, TxTracer::Outcome::Rollback, vaddr);
     }
+    maybeReleaseReport();
     if (levels.empty())
         onAllLevelsGone();
 }
@@ -571,8 +574,11 @@ HtmContext::raiseViolation(std::uint32_t mask, Addr where, CpuId attacker)
         vcurrent |= mask;
     else
         vpending |= mask;
-    vaddr = where;
-    vattacker = attacker;
+    if (!vheld) {
+        vaddr = where;
+        vattacker = attacker;
+        vheld = true;
+    }
     tracer->instant(id, TxTracer::Ev::ViolationRaised,
                     __builtin_ctz(mask) + 1, where, attacker);
     if (violationHook)
@@ -585,6 +591,7 @@ HtmContext::returnFromHandler()
     reporting = true;
     vcurrent |= vpending;
     vpending = 0;
+    maybeReleaseReport();
     return vcurrent != 0;
 }
 
@@ -594,6 +601,7 @@ HtmContext::clearViolationBits(int lvl)
     std::uint32_t bit = 1u << (lvl - 1);
     vcurrent &= ~bit;
     vpending &= ~bit;
+    maybeReleaseReport();
 }
 
 void
@@ -602,6 +610,7 @@ HtmContext::clampMasksToDepth()
     if (levels.empty()) {
         vcurrent = 0;
         vpending = 0;
+        vheld = false;
         return;
     }
     const std::uint32_t valid = (1u << depth()) - 1;
@@ -637,7 +646,22 @@ HtmContext::noteEviction(const EvictInfo& info)
 void
 HtmContext::pushUndo(Addr word_addr)
 {
+    undoIndex[word_addr].push_back(undoLog.size());
     undoLog.push_back(UndoEntry{word_addr, mem.read(word_addr)});
+}
+
+void
+HtmContext::truncateUndo(size_t new_size)
+{
+    while (undoLog.size() > new_size) {
+        auto it = undoIndex.find(undoLog.back().addr);
+        // The newest entry for a word is necessarily the last index in
+        // its per-word list.
+        it->second.pop_back();
+        if (it->second.empty())
+            undoIndex.erase(it);
+        undoLog.pop_back();
+    }
 }
 
 void
@@ -653,10 +677,12 @@ HtmContext::resetAll()
     aggWriters.clear();
     levels.clear();
     undoLog.clear();
+    undoIndex.clear();
     vcurrent = 0;
     vpending = 0;
     vaddr = invalidAddr;
     vattacker = -1;
+    vheld = false;
     reporting = true;
     onAllLevelsGone();
     if (l1)

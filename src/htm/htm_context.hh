@@ -199,7 +199,10 @@ class HtmContext
 
     /** Record a conflict hitting @p mask levels at line @p where.
      *  @p attacker is the CPU whose access caused the conflict (-1
-     *  when unknown, e.g. test-injected violations). */
+     *  when unknown, e.g. test-injected violations). The xvaddr /
+     *  xvattacker report registers latch the FIRST undelivered
+     *  conflict; later conflicts only accumulate mask bits until the
+     *  report is consumed (consumeReport) or every mask bit clears. */
     void raiseViolation(std::uint32_t mask, Addr where,
                         CpuId attacker = -1);
 
@@ -210,8 +213,13 @@ class HtmContext
     std::uint32_t xvpending() const { return vpending; }
     Addr xvaddr() const { return vaddr; }
 
-    /** CPU that caused the most recent violation (-1 if unknown). */
+    /** CPU that caused the first unconsumed violation (-1 if unknown). */
     CpuId xvattacker() const { return vattacker; }
+
+    /** Hardware delivered the report (saved xvaddr/xvattacker into the
+     *  handler frame): unlatch so the next conflict is reported with
+     *  its own address/attacker. The register values stay readable. */
+    void consumeReport() { vheld = false; }
 
     /** Deliverable = reporting enabled and xvcurrent nonzero. */
     bool deliverable() const { return reporting && vcurrent != 0; }
@@ -224,7 +232,12 @@ class HtmContext
     void clearViolationBits(int lvl);
 
     /** Acknowledge every delivered violation (software "continue"). */
-    void clearCurrentViolations() { vcurrent = 0; }
+    void
+    clearCurrentViolations()
+    {
+        vcurrent = 0;
+        maybeReleaseReport();
+    }
 
     /**
      * Remap mask bits that refer to levels deeper than the current
@@ -269,6 +282,18 @@ class HtmContext
     Word readVisible(Addr word_addr) const;
 
     void pushUndo(Addr word_addr);
+
+    /** Drop undo entries above @p new_size (commit resize / rollback
+     *  restore), keeping the per-word entry index consistent. */
+    void truncateUndo(size_t new_size);
+
+    /** A violation report is only held while a mask bit backs it. */
+    void
+    maybeReleaseReport()
+    {
+        if (vcurrent == 0 && vpending == 0)
+            vheld = false;
+    }
 
     // --- aggregate / signature / sharer-index maintenance ---
     //
@@ -318,6 +343,12 @@ class HtmContext
     std::vector<TxLevel> levels;
     std::vector<UndoEntry> undoLog;
 
+    /** Word -> ascending undo-log entry indices for that word, kept in
+     *  lockstep with undoLog by pushUndo/truncateUndo. front() is the
+     *  oldest (committed-value) entry, so the strong-atomicity queries
+     *  cost O(entries for this word) instead of O(log length). */
+    std::unordered_map<Addr, std::vector<size_t>> undoIndex;
+
     /** Track-unit -> bitmask of levels reading/writing it; the union of
      *  the per-level sets, maintained incrementally. */
     std::unordered_map<Addr, std::uint32_t> aggReaders;
@@ -345,6 +376,9 @@ class HtmContext
     std::uint32_t vpending = 0;
     Addr vaddr = invalidAddr;
     CpuId vattacker = -1;
+    /** xvaddr/xvattacker hold an undelivered report; later raises must
+     *  not clobber it. */
+    bool vheld = false;
     bool reporting = true;
     std::function<void()> violationHook;
 

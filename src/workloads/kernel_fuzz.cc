@@ -1,0 +1,48 @@
+#include "workloads/kernel_fuzz.hh"
+
+#include "check/oracle.hh"
+#include "sim/logging.hh"
+
+namespace tmsim {
+
+FuzzKernel::FuzzKernel(std::uint64_t s) : seed(s)
+{
+    program = generateProgram(seed);
+}
+
+std::string
+FuzzKernel::name() const
+{
+    return "fuzz[seed=" + std::to_string(seed) + "]";
+}
+
+void
+FuzzKernel::init(Machine& m, int n_threads)
+{
+    (void)n_threads;
+    // The interpreter's checking rules depend on the machine's HTM
+    // configuration (nesting mode, track granularity), so it can only
+    // be built once the Machine exists.
+    interp = std::make_unique<FuzzInterp>(program, m.config().htm);
+    interp->attach(m);
+}
+
+SimTask
+FuzzKernel::thread(TxThread& t, int tid, int n_threads)
+{
+    (void)n_threads;
+    co_await interp->threadBody(t, tid);
+}
+
+bool
+FuzzKernel::verify(Machine& m, int n_threads)
+{
+    (void)n_threads;
+    const ObservedRun run = interp->finish(m, false);
+    const OracleVerdict v = checkRun(program, run);
+    if (!v.ok)
+        warn("fuzz oracle: %s", v.message.c_str());
+    return v.ok;
+}
+
+} // namespace tmsim

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fuzz workload adapter: exposes one seed-generated check/ fuzz
+ * program through the standard Kernel interface so tmsim_run (and the
+ * harness) can execute and oracle-verify it like any other workload.
+ */
+
+#ifndef TMSIM_WORKLOADS_KERNEL_FUZZ_HH
+#define TMSIM_WORKLOADS_KERNEL_FUZZ_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "check/fuzz_interp.hh"
+#include "check/fuzz_program.hh"
+#include "workloads/harness.hh"
+
+namespace tmsim {
+
+class FuzzKernel : public Kernel
+{
+  public:
+    explicit FuzzKernel(std::uint64_t seed);
+
+    std::string name() const override;
+    void init(Machine& m, int n_threads) override;
+    SimTask thread(TxThread& t, int tid, int n_threads) override;
+    bool verify(Machine& m, int n_threads) override;
+
+  private:
+    std::uint64_t seed;
+    FuzzProgram program;
+    std::unique_ptr<FuzzInterp> interp;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_WORKLOADS_KERNEL_FUZZ_HH

@@ -155,6 +155,71 @@ TEST(HtmContextUnit, ViolationMaskClampAndPromotion)
     EXPECT_EQ(f.ctx.xvcurrent() & 0x1u, 0x1u);
 }
 
+TEST(HtmContextUnit, ReportRegistersLatchFirstUndeliveredConflict)
+{
+    // Two back-to-back conflicts before any delivery: the report
+    // registers must keep the FIRST address/attacker — the second
+    // conflict only accumulates mask bits. Overwriting would make the
+    // handler chase the wrong line (the original bug this guards).
+    Fixture f;
+    f.ctx.begin(TxKind::Closed, 0);
+    f.ctx.raiseViolation(0x1, 0x40, 3);
+    f.ctx.raiseViolation(0x1, 0x80, 5);
+    EXPECT_EQ(f.ctx.xvaddr(), 0x40u);
+    EXPECT_EQ(f.ctx.xvattacker(), 3);
+
+    // Delivery consumes the report; the next conflict re-latches.
+    f.ctx.consumeReport();
+    f.ctx.raiseViolation(0x1, 0xC0, 7);
+    EXPECT_EQ(f.ctx.xvaddr(), 0xC0u);
+    EXPECT_EQ(f.ctx.xvattacker(), 7);
+}
+
+TEST(HtmContextUnit, ReportReleasesWhenEveryMaskBitClears)
+{
+    // Without an explicit consume, clearing all mask bits (software
+    // acknowledged every violation) also unlatches the report.
+    Fixture f;
+    f.ctx.begin(TxKind::Closed, 0);
+    f.ctx.raiseViolation(0x1, 0x40, 2);
+    f.ctx.raiseViolation(0x1, 0x80, 4);
+    EXPECT_EQ(f.ctx.xvaddr(), 0x40u);
+    f.ctx.clearCurrentViolations();
+    f.ctx.raiseViolation(0x1, 0x80, 4);
+    EXPECT_EQ(f.ctx.xvaddr(), 0x80u);
+    EXPECT_EQ(f.ctx.xvattacker(), 4);
+}
+
+TEST(HtmContextUnit, UndoIndexSurvivesCommitAndRollbackResizes)
+{
+    // oldestUndoValue / patchUndoEntries are index-backed; the index
+    // must stay consistent as nested levels push, commit (merge) and
+    // roll back undo regions for the same word.
+    HtmConfig cfg = HtmConfig::eagerUndoLog();
+    Fixture f(cfg);
+    f.mem.write(0x100, 7);
+
+    f.ctx.begin(TxKind::Closed, 0);
+    f.ctx.specWrite(0x100, 10);
+    EXPECT_EQ(f.ctx.oldestUndoValue(0x100), 7u);
+    f.ctx.begin(TxKind::Closed, 1);
+    f.ctx.specWrite(0x100, 20);
+    EXPECT_EQ(f.ctx.oldestUndoValue(0x100), 7u);
+
+    // Inner rollback restores 10 and drops its undo entry; the
+    // remaining entry still maps to the oldest value.
+    f.ctx.rollbackTo(2);
+    EXPECT_EQ(f.mem.read(0x100), 10u);
+    EXPECT_EQ(f.ctx.oldestUndoValue(0x100), 7u);
+
+    // A strong-atomicity patch rewrites every remaining entry.
+    f.ctx.patchUndoEntries(0x100, 99);
+    EXPECT_EQ(f.ctx.oldestUndoValue(0x100), 99u);
+    f.ctx.rollbackTo(1);
+    EXPECT_EQ(f.mem.read(0x100), 99u);
+    EXPECT_EQ(f.ctx.undoLogSize(), 0u);
+}
+
 TEST(HtmContextUnit, ReturnFromHandlerPromotesPending)
 {
     Fixture f;

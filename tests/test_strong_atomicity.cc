@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Strong-atomicity interleavings at machine level: non-transactional
+ * loads and stores racing active transactions under both versioning
+ * modes, the validated-window stalls, and durability of open-nested
+ * commits performed inside ancestors (write-buffered or aborted).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/machine.hh"
+#include "core/tx_signals.hh"
+#include "runtime/tx_thread.hh"
+
+using namespace tmsim;
+
+namespace {
+
+MachineConfig
+config(HtmConfig htm, int cpus = 2)
+{
+    MachineConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.htm = htm;
+    cfg.memBytes = 4 * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(StrongAtomicity, NonTxLoadHidesUndoLogSpeculation)
+{
+    // An undo-log transaction writes in place; a concurrent plain load
+    // must still observe the pre-transactional value, and the value
+    // after the commit.
+    Machine m(config(HtmConfig::eagerUndoLog()));
+    const Addr a = m.memory().allocate(64);
+    m.memory().write(a, 7);
+
+    Word mid = 0, after = 0;
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await c.xbegin();
+        co_await c.store(a, 41);
+        co_await c.store(a, 42); // two undo entries for the same word
+        co_await c.exec(600);
+        co_await c.xvalidate();
+        co_await c.xcommit();
+    });
+    m.spawn(1, [&](Cpu& c) -> SimTask {
+        co_await c.exec(200); // while the writer speculates
+        mid = co_await c.load(a);
+        co_await c.exec(2000); // after it committed
+        after = co_await c.load(a);
+    });
+    m.run();
+
+    EXPECT_EQ(mid, 7u) << "plain load leaked speculative in-place data";
+    EXPECT_EQ(after, 42u);
+    EXPECT_EQ(m.memory().read(a), 42u);
+}
+
+TEST(StrongAtomicity, NonTxLoadHidesWriteBufferSpeculation)
+{
+    Machine m(config(HtmConfig::paperLazy()));
+    const Addr a = m.memory().allocate(64);
+    m.memory().write(a, 7);
+
+    Word mid = 0;
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await c.xbegin();
+        co_await c.store(a, 42);
+        co_await c.exec(600);
+        co_await c.xvalidate();
+        co_await c.xcommit();
+    });
+    m.spawn(1, [&](Cpu& c) -> SimTask {
+        co_await c.exec(200);
+        mid = co_await c.load(a);
+    });
+    m.run();
+
+    EXPECT_EQ(mid, 7u);
+    EXPECT_EQ(m.memory().read(a), 42u);
+}
+
+TEST(StrongAtomicity, NonTxStoreViolatesActiveReaderBothModes)
+{
+    for (HtmConfig htm :
+         {HtmConfig::paperLazy(), HtmConfig::eagerUndoLog()}) {
+        Machine m(config(htm));
+        const Addr a = m.memory().allocate(64);
+        m.memory().write(a, 0);
+
+        int rollbacks = 0;
+        Word finalRead = 0;
+        m.spawn(0, [&](Cpu& c) -> SimTask {
+            for (;;) {
+                co_await c.xbegin();
+                try {
+                    Word v = co_await c.load(a);
+                    co_await c.exec(800); // let the plain store land
+                    Word v2 = co_await c.load(a);
+                    EXPECT_EQ(v, v2) << htm.describe();
+                    co_await c.xvalidate();
+                    co_await c.xcommit();
+                    finalRead = v;
+                    co_return;
+                } catch (const TxRollback&) {
+                    ++rollbacks;
+                }
+            }
+        });
+        m.spawn(1, [&](Cpu& c) -> SimTask {
+            co_await c.exec(300);
+            co_await c.store(a, 9); // plain store into the read-set
+        });
+        m.run();
+
+        EXPECT_GE(rollbacks, 1) << htm.describe();
+        EXPECT_EQ(finalRead, 9u) << htm.describe();
+        EXPECT_EQ(m.memory().read(a), 9u) << htm.describe();
+    }
+}
+
+TEST(StrongAtomicity, NonTxStorePatchesUndoOfAbortedWriter)
+{
+    // Undo-log writer speculates on 'a', then a plain store hits the
+    // same word, then the transaction aborts voluntarily: the rollback
+    // must not resurrect the pre-transactional value over the plain
+    // store (its undo entries were patched when the store landed).
+    Machine m(config(HtmConfig::eagerUndoLog()));
+    const Addr a = m.memory().allocate(64);
+    m.memory().write(a, 7);
+
+    m.spawn(0, [&](Cpu& c) -> SimTask {
+        co_await c.xbegin();
+        try {
+            co_await c.store(a, 42);
+            co_await c.exec(800); // plain store lands here
+            co_await c.xabort(1);
+        } catch (const TxAbortSignal&) {
+        } catch (const TxRollback&) {
+            // Violated by the plain store before reaching xabort —
+            // the rollback path must apply the same patched undo.
+        }
+    });
+    m.spawn(1, [&](Cpu& c) -> SimTask {
+        co_await c.exec(300);
+        co_await c.store(a, 99);
+    });
+    m.run();
+
+    EXPECT_EQ(m.memory().read(a), 99u)
+        << "rollback resurrected stale pre-tx data over a plain store";
+}
+
+TEST(StrongAtomicity, NonTxAccessStallsForValidatedPeer)
+{
+    // Once a transaction validates it is serialized; a plain load or
+    // store in its validate-to-commit window must wait for the commit
+    // rather than slip in between (it would read a value the commit is
+    // about to replace, or be lost under the pending write-back).
+    for (HtmConfig htm :
+         {HtmConfig::paperLazy(), HtmConfig::eagerUndoLog()}) {
+        Machine m(config(htm, 3));
+        const Addr a = m.memory().allocate(64);
+        m.memory().write(a, 1);
+
+        Word probed = 0;
+        m.spawn(0, [&](Cpu& c) -> SimTask {
+            co_await c.xbegin();
+            Word v = co_await c.load(a);
+            co_await c.store(a, v + 10);
+            co_await c.xvalidate();
+            co_await c.exec(900); // long validated window
+            co_await c.xcommit();
+        });
+        m.spawn(1, [&](Cpu& c) -> SimTask {
+            co_await c.exec(400); // inside the validated window
+            probed = co_await c.load(a);
+        });
+        m.spawn(2, [&](Cpu& c) -> SimTask {
+            co_await c.exec(400);
+            co_await c.store(a, 100); // must order after the commit
+        });
+        m.run();
+
+        // Both plain accesses stall until the commit; their mutual
+        // order afterwards is timing-dependent, so the load may see
+        // the committed value or the peer's store — but never the
+        // pre-commit value the commit was about to replace.
+        EXPECT_TRUE(probed == 11u || probed == 100u) << htm.describe()
+            << ": plain load slipped inside a validated commit "
+               "(probed " << probed << ")";
+        EXPECT_EQ(m.memory().read(a), 100u) << htm.describe()
+            << ": plain store was lost under the pending commit";
+    }
+}
+
+TEST(StrongAtomicity, OpenCommitWritesThroughAncestorWriteBuffer)
+{
+    // The outer transaction holds 'b' in its write buffer when the
+    // open-nested child commits the same word: the child's commit is
+    // durable immediately and patches the ancestor's buffered state.
+    Machine m(config(HtmConfig::paperLazy(), 1));
+    const Addr b = m.memory().allocate(64);
+    m.memory().write(b, 0);
+
+    Word seenByOuter = 0;
+    Word durableMidTx = 0;
+    TxThread t(m.cpu(0));
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await t.atomic([&](TxThread& th) -> SimTask {
+            co_await th.cpu().store(b, 1); // buffered in the outer
+            co_await th.atomicOpen([&](TxThread& th2) -> SimTask {
+                co_await th2.cpu().store(b, 2);
+            });
+            durableMidTx = m.memory().read(b); // backing store, raw
+            seenByOuter = co_await th.cpu().load(b);
+        });
+    });
+    m.run();
+
+    EXPECT_EQ(durableMidTx, 2u)
+        << "open commit was held back by the ancestor write buffer";
+    EXPECT_EQ(seenByOuter, 2u)
+        << "ancestor buffer not patched by the open commit";
+    EXPECT_EQ(m.memory().read(b), 2u);
+}
+
+TEST(StrongAtomicity, OpenCommitSurvivesOuterAbortBothModes)
+{
+    for (HtmConfig htm :
+         {HtmConfig::paperLazy(), HtmConfig::eagerUndoLog()}) {
+        Machine m(config(htm, 1));
+        const Addr a = m.memory().allocate(64);
+        const Addr b = a + 8;
+        m.memory().write(a, 7);
+        m.memory().write(b, 0);
+
+        TxThread t(m.cpu(0));
+        m.spawn(0, [&](Cpu&) -> SimTask {
+            TxOutcome out = co_await t.atomic(
+                [&](TxThread& th) -> SimTask {
+                    co_await th.cpu().store(a, 42); // speculative
+                    co_await th.atomicOpen(
+                        [&](TxThread& th2) -> SimTask {
+                            Word v = co_await th2.cpu().load(b);
+                            co_await th2.cpu().store(b, v + 1);
+                        });
+                    co_await th.cpu().xabort(1);
+                });
+            EXPECT_EQ(out.result, TxResult::Aborted);
+        });
+        m.run();
+
+        EXPECT_EQ(m.memory().read(a), 7u) << htm.describe()
+            << ": aborted outer speculation leaked";
+        EXPECT_EQ(m.memory().read(b), 1u) << htm.describe()
+            << ": open-nested commit undone by the outer abort";
+    }
+}

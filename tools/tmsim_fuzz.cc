@@ -1,0 +1,252 @@
+/**
+ * @file
+ * tmsim_fuzz — cross-config differential schedule fuzzer. For each
+ * seed it generates a parallel transactional program, runs it under
+ * the four contrasted HTM design points, checks every run against the
+ * serializability oracle, and compares the mode-invariant final state
+ * across configs. Failing seeds are shrunk and written as replay files
+ * that this tool (and the ctest suite) can deterministically re-run.
+ *
+ *   tmsim_fuzz --seeds 1000
+ *   tmsim_fuzz --replay tests/replays/foo.replay --expect-fail
+ *   tmsim_fuzz --selftest-inject
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/fuzz_driver.hh"
+#include "check/fuzz_program.hh"
+#include "sim/logging.hh"
+
+using namespace tmsim;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: tmsim_fuzz [options]\n"
+        "  --seeds N          fuzz N sequential seeds (default 200)\n"
+        "  --seed-start S     first seed (default 1)\n"
+        "  --replay FILE      re-run one replay file instead of fuzzing\n"
+        "  --expect-fail      with --replay: exit 0 iff the replay "
+        "still fails\n"
+        "  --out-dir DIR      where failing-seed replays are written "
+        "(default .)\n"
+        "  --max-ticks N      per-run simulated tick limit\n"
+        "  --shrink-runs N    differential-run budget for shrinking "
+        "(default 400)\n"
+        "  --selftest-inject  verify the pipeline catches an injected "
+        "bug\n"
+        "  --quiet            suppress simulator log output\n");
+}
+
+std::string
+writeReplay(const std::string& out_dir, const FuzzProgram& p,
+            const std::string& tag)
+{
+    std::ostringstream name;
+    name << out_dir << "/fuzz_" << tag << ".replay";
+    std::ofstream os(name.str());
+    if (!os) {
+        std::fprintf(stderr, "cannot write replay file %s\n",
+                     name.str().c_str());
+        return {};
+    }
+    os << p.serialize();
+    return name.str();
+}
+
+void
+reportFailure(const FuzzProgram& shrunk, const FuzzFailure& fail,
+              const std::string& replay_path)
+{
+    std::printf("FAIL seed %llu [%s]: %s\n",
+                static_cast<unsigned long long>(shrunk.seed),
+                fail.config.c_str(), fail.message.c_str());
+    if (!replay_path.empty())
+        std::printf("     replay written to %s\n", replay_path.c_str());
+}
+
+/**
+ * End-to-end self-test of the checking pipeline: plant a deliberately
+ * unrecorded store into a generated program, assert the oracle flags
+ * it, shrink, write + re-parse the replay, and assert the failure
+ * reproduces identically. Exercises the same code paths a real
+ * simulator bug would take.
+ */
+int
+selftestInject(const std::string& out_dir, int shrink_runs,
+               Tick max_ticks)
+{
+    FuzzProgram p = generateProgram(7);
+    p.injectHiddenStoreAfter = 0;
+
+    const FuzzFailure fail = runProgramAllConfigs(p, max_ticks);
+    if (!fail.failed) {
+        std::printf("selftest: FAIL (injected hidden store was not "
+                    "detected)\n");
+        return 1;
+    }
+    std::printf("selftest: injected bug detected [%s]: %s\n",
+                fail.config.c_str(), fail.message.c_str());
+
+    const FuzzProgram shrunk = shrinkProgram(p, shrink_runs, max_ticks);
+    const FuzzFailure shrunkFail = runProgramAllConfigs(shrunk, max_ticks);
+    if (!shrunkFail.failed) {
+        std::printf("selftest: FAIL (shrunk program no longer fails)\n");
+        return 1;
+    }
+    std::printf("selftest: shrunk to %d thread(s), %zu tx(s)\n",
+                shrunk.numThreads(), shrunk.txs.size());
+
+    const std::string path = writeReplay(out_dir, shrunk, "selftest");
+    if (path.empty())
+        return 1;
+    std::ifstream is(path);
+    std::stringstream buf;
+    buf << is.rdbuf();
+    FuzzProgram reparsed;
+    std::string err;
+    if (!FuzzProgram::parse(buf.str(), reparsed, &err)) {
+        std::printf("selftest: FAIL (replay did not re-parse: %s)\n",
+                    err.c_str());
+        return 1;
+    }
+    const FuzzFailure replayFail =
+        runProgramAllConfigs(reparsed, max_ticks);
+    if (!replayFail.failed || replayFail.config != shrunkFail.config) {
+        std::printf("selftest: FAIL (replay did not reproduce the "
+                    "original failure)\n");
+        return 1;
+    }
+    std::printf("selftest: replay reproduced [%s]: %s\n",
+                replayFail.config.c_str(), replayFail.message.c_str());
+    std::printf("selftest: PASS\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::uint64_t seeds = 200;
+    std::uint64_t seedStart = 1;
+    std::string replayFile;
+    std::string outDir = ".";
+    Tick maxTicks = FuzzInterp::defaultMaxTicks;
+    int shrinkRuns = 400;
+    bool expectFail = false;
+    bool selftest = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--seeds") {
+            seeds = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--seed-start") {
+            seedStart = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--replay") {
+            replayFile = next();
+        } else if (arg == "--expect-fail") {
+            expectFail = true;
+        } else if (arg == "--out-dir") {
+            outDir = next();
+        } else if (arg == "--max-ticks") {
+            maxTicks = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--shrink-runs") {
+            shrinkRuns = std::atoi(next().c_str());
+        } else if (arg == "--selftest-inject") {
+            selftest = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    setQuiet(quiet);
+
+    if (selftest)
+        return selftestInject(outDir, shrinkRuns, maxTicks);
+
+    if (!replayFile.empty()) {
+        std::ifstream is(replayFile);
+        if (!is)
+            fatal("cannot open replay file '%s'", replayFile.c_str());
+        std::stringstream buf;
+        buf << is.rdbuf();
+        FuzzProgram p;
+        std::string err;
+        if (!FuzzProgram::parse(buf.str(), p, &err))
+            fatal("malformed replay file: %s", err.c_str());
+        const FuzzFailure fail = runProgramAllConfigs(p, maxTicks);
+        if (fail.failed) {
+            std::printf("replay FAILS [%s]: %s\n", fail.config.c_str(),
+                        fail.message.c_str());
+            return expectFail ? 0 : 1;
+        }
+        std::printf("replay passes across all configs\n");
+        if (expectFail) {
+            std::printf("error: --expect-fail but the replay no "
+                        "longer fails\n");
+            return 1;
+        }
+        return 0;
+    }
+
+    constexpr int maxReported = 5;
+    int failures = 0;
+    for (std::uint64_t s = seedStart; s < seedStart + seeds; ++s) {
+        const FuzzProgram p = generateProgram(s);
+        const FuzzFailure fail = runProgramAllConfigs(p, maxTicks);
+        if (!fail.failed) {
+            if ((s - seedStart + 1) % 100 == 0) {
+                std::printf("... %llu/%llu seeds clean\n",
+                            static_cast<unsigned long long>(
+                                s - seedStart + 1),
+                            static_cast<unsigned long long>(seeds));
+                std::fflush(stdout);
+            }
+            continue;
+        }
+        ++failures;
+        const FuzzProgram shrunk = shrinkProgram(p, shrinkRuns, maxTicks);
+        // Shrinking re-checks every candidate, so the shrunk program
+        // still fails (possibly with a different first-failing config).
+        const FuzzFailure sf = runProgramAllConfigs(shrunk, maxTicks);
+        const std::string path = writeReplay(
+            outDir, shrunk, "seed_" + std::to_string(s));
+        reportFailure(shrunk, sf.failed ? sf : fail, path);
+        if (failures >= maxReported) {
+            std::printf("stopping after %d failures\n", failures);
+            break;
+        }
+    }
+
+    if (failures == 0) {
+        std::printf("OK: %llu seed(s) x 4 configs, oracle clean, "
+                    "mode-invariant state identical\n",
+                    static_cast<unsigned long long>(seeds));
+        return 0;
+    }
+    std::printf("%d failing seed(s)\n", failures);
+    return 1;
+}

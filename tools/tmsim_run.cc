@@ -20,6 +20,7 @@
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 #include "workloads/kernel_condsync.hh"
+#include "workloads/kernel_fuzz.hh"
 #include "workloads/kernel_iobench.hh"
 #include "workloads/kernel_mp3d.hh"
 #include "workloads/kernel_specjbb.hh"
@@ -35,10 +36,11 @@ const char* const kernelNames[] = {
     "tomcatv",        "water",         "specjbb-flat",
     "specjbb-closed", "specjbb-open",  "specjbb-hybrid", "iobench-tx",
     "iobench-serialized", "condsync-sched", "condsync-poll",
+    "fuzz",
 };
 
 std::unique_ptr<Kernel>
-makeKernel(const std::string& name)
+makeKernel(const std::string& name, std::uint64_t fuzz_seed)
 {
     if (name == "barnes")
         return std::make_unique<SciKernel>(sciBarnes());
@@ -77,6 +79,8 @@ makeKernel(const std::string& name)
         p.useScheduler = name == "condsync-sched";
         return std::make_unique<CondSyncKernel>(p);
     }
+    if (name == "fuzz")
+        return std::make_unique<FuzzKernel>(fuzz_seed);
     return nullptr;
 }
 
@@ -94,6 +98,7 @@ usage()
         "  --scheme assoc|multitrack  (cache nesting scheme)\n"
         "  --granularity line|word    (conflict tracking)\n"
         "  --no-backoff         disable retry backoff\n"
+        "  --fuzz-seed N        seed for the 'fuzz' kernel (default 1)\n"
         "  --stats              dump every counter after the run\n"
         "  --trace FILE         write a Chrome trace-event JSON of every\n"
         "                       transaction lifecycle event (Perfetto)\n"
@@ -113,6 +118,7 @@ main(int argc, char** argv)
     std::string jsonStatsFile;
     int cpus = 8;
     HtmConfig htm = HtmConfig::paperLazy();
+    std::uint64_t fuzzSeed = 1;
     bool dumpStats = false;
     bool quiet = false;
 
@@ -151,6 +157,8 @@ main(int argc, char** argv)
                                                : TrackGranularity::Line;
         } else if (arg == "--no-backoff") {
             htm.retryBackoff = false;
+        } else if (arg == "--fuzz-seed") {
+            fuzzSeed = std::strtoull(next().c_str(), nullptr, 0);
         } else if (arg == "--stats") {
             dumpStats = true;
         } else if (arg == "--trace") {
@@ -177,7 +185,7 @@ main(int argc, char** argv)
         usage();
         return 2;
     }
-    auto kernel = makeKernel(kernelName);
+    auto kernel = makeKernel(kernelName, fuzzSeed);
     if (!kernel)
         fatal("unknown kernel '%s' (try --list)", kernelName.c_str());
     if (cpus < 1 || cpus > 64)
