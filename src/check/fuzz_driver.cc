@@ -14,6 +14,7 @@ fuzzConfigs(const FuzzProgram& program)
                                                : TrackGranularity::Line;
     base.policy = program.olderWins ? ConflictPolicy::OlderWins
                                     : ConflictPolicy::RequesterWins;
+    base.contention = program.contention;
 
     std::vector<FuzzConfig> out;
     {

@@ -130,6 +130,7 @@ FuzzProgram::serialize() const
     os << "slots " << slotsPerRegion << "\n";
     os << "word-granularity " << (wordGranularity ? 1 : 0) << "\n";
     os << "older-wins " << (olderWins ? 1 : 0) << "\n";
+    os << "contention " << contentionPolicyName(contention) << "\n";
     os << "inject " << injectHiddenStoreAfter << "\n";
     os << "txs " << txs.size() << "\n";
     for (size_t i = 0; i < txs.size(); ++i) {
@@ -185,8 +186,28 @@ FuzzProgram::parse(const std::string& text, FuzzProgram& out,
         return fail(err, "missing word-granularity");
     if (!expectKeyed("older-wins", older))
         return fail(err, "missing older-wins");
-    if (!expectKeyed("inject", inject))
+    // Optional contention-policy line (absent in pre-policy replay
+    // files, which ran the legacy Requester pass-through).
+    if (!std::getline(is, line))
         return fail(err, "missing inject");
+    {
+        std::istringstream ls(line);
+        std::string k, v;
+        ls >> k >> v;
+        if (!ls.fail() && k == "contention") {
+            if (!contentionPolicyFromName(v, p.contention))
+                return fail(err, "bad contention policy: " + line);
+            if (!std::getline(is, line))
+                return fail(err, "missing inject");
+        }
+    }
+    {
+        std::istringstream ls(line);
+        std::string k;
+        ls >> k >> inject;
+        if (ls.fail() || k != "inject")
+            return fail(err, "missing inject");
+    }
     if (!expectKeyed("txs", nTxs) || nTxs > 10000)
         return fail(err, "bad txs count");
     p.wordGranularity = wordGran != 0;

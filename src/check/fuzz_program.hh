@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "htm/htm_config.hh"
 #include "sim/types.hh"
 
 namespace tmsim {
@@ -123,6 +124,11 @@ struct FuzzProgram
     int slotsPerRegion = 4;
     bool wordGranularity = false;
     bool olderWins = false;
+
+    /** Contention-management policy applied to every differential base
+     *  config. Policies reschedule conflicts but must never change a
+     *  serializability verdict; the fuzzer checks exactly that. */
+    ContentionPolicy contention = ContentionPolicy::Requester;
 
     /** Bug-injection self-test: thread 0 performs one deliberately
      *  unrecorded store to Shared slot 0 after its Nth top-level op

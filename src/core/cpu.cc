@@ -368,6 +368,8 @@ Cpu::xvalidate()
     // Lazy (TCC-style) validation: acquire the commit token, broadcast
     // the write-set, pin the lines until xcommit.
     Bus& bus = memSys.bus();
+    int commitYields = 0;
+    constexpr int maxCommitYields = 8;
     for (;;) {
         ctx.promotePendingForLevel(ctx.depth());
         if (ctx.xvcurrent() & (1u << (ctx.depth() - 1)))
@@ -396,6 +398,25 @@ Cpu::xvalidate()
         if (ctx.deliverable() || det.anyLockedByOther(ctx, lines)) {
             bus.commitToken().release();
             continue;
+        }
+
+        // Commit arbitration: the contention manager may tell this
+        // committer to surrender its slot to a starving reader (the
+        // Hybrid policy's must-win escalation). Yield by pausing, not
+        // aborting: release the token and retry shortly, opening a
+        // window for the escalated reader to grab the token and commit
+        // first. The committer keeps its speculative state — if the
+        // reader's commit genuinely conflicts, its broadcast violates
+        // this committer through the normal path. Bounded so a
+        // long-running reader cannot pin a validated committer forever.
+        if (commitYields < maxCommitYields) {
+            const auto yield = det.commitYieldTarget(ctx, lines);
+            if (yield.yield) {
+                ++commitYields;
+                bus.commitToken().release();
+                co_await Delay{eq, Cycles{4}};
+                continue;
+            }
         }
 
         // Commit point: violate conflicting readers, pin the write-set.
@@ -506,11 +527,16 @@ Cpu::xabort(Word code)
         ctx.setReporting(true);
         co_return;
     }
-    // Default: roll back the current transaction and unwind.
+    // Default: roll back the current transaction and unwind. Raw-ISA
+    // users have no runtime retry loop, so a voluntary abort that
+    // leaves the outermost level ends the attempt sequence for the
+    // contention manager's fairness bookkeeping.
     int target = ctx.depth();
     retire(5);
     co_await Delay{eq, 5};
     rawRollback(target);
+    if (!ctx.inTx())
+        det.noteSequenceAbandoned(cpuId);
     throw TxAbortSignal{target, code};
 }
 
@@ -550,8 +576,13 @@ Cpu::imstid(Addr addr, Word value)
 SimTask
 Cpu::release(Addr addr)
 {
+    if (ctx.deliverable())
+        co_await deliverViolations();
     retire(1);
     co_await Delay{eq, 1};
+    // Paper 4.7: release drops exactly the addressed conflict-tracking
+    // unit — under word tracking, only that word — so a conflict on a
+    // neighbouring word of the same line must still violate.
     ctx.releaseLine(addr);
 }
 

@@ -24,6 +24,10 @@ Machine::Machine(const MachineConfig& cfg_) : cfg(cfg_), tracerObj(eq)
     statsReg.formula("htm.commit_rate", "cpu*.htm.outer_commits",
                      "cpu*.htm.begins");
     statsReg.formula("bus.utilization", "bus.busy_cycles", "sim.ticks");
+    // Jain's fairness index over per-CPU outer commits: 1.0 when every
+    // CPU commits equally often, 1/n when one CPU gets everything.
+    statsReg.jainFairness("htm.commit_fairness",
+                          "cpu*.htm.outer_commits");
 }
 
 void

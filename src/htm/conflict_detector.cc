@@ -9,6 +9,7 @@ namespace tmsim {
 
 ConflictDetector::ConflictDetector(EventQueue& eq_, StatsRegistry& stats)
     : eq(eq_),
+      statsRef(stats),
       statBroadcastLines(stats.counter("htm.broadcast_lines")),
       statLazyViolations(stats.counter("htm.lazy_violations")),
       statEagerConflicts(stats.counter("htm.eager_conflicts")),
@@ -36,6 +37,28 @@ ConflictDetector::addContext(HtmContext* ctx)
     }
     ctxs.push_back(ctx);
     ctx->setSharerListener(this);
+    // The chip-wide contention manager is built from the first
+    // context's configuration (policies are per-machine, not per-CPU).
+    if (!cm)
+        cm = makeContentionManager(ctx->config(), statsRef);
+    ctx->setContentionManager(cm.get());
+}
+
+ContentionManager&
+ConflictDetector::contention()
+{
+    if (!cm) {
+        // No context registered yet (raw detector tests): default
+        // Requester manager.
+        cm = makeContentionManager(HtmConfig{}, statsRef);
+    }
+    return *cm;
+}
+
+void
+ConflictDetector::noteSequenceAbandoned(CpuId cpu)
+{
+    contention().onSequenceAbandoned(cpu);
 }
 
 void
@@ -151,6 +174,38 @@ ConflictDetector::broadcastWriteSet(HtmContext& committer,
     return overflowPenalty();
 }
 
+ConflictDetector::CommitYield
+ConflictDetector::commitYieldTarget(const HtmContext& committer,
+                                    const std::vector<Addr>& lines)
+{
+    CommitYield out;
+    ContentionManager& mgr = contention();
+    if (!mgr.mayYieldAtCommit())
+        return out;
+    for (Addr line : lines) {
+        const SharerEntry* e = lookupSharers(line, true, false);
+        if (!e)
+            continue;
+        for (const SharerSlot& s : e->sharers) {
+            HtmContext* ctx = s.ctx;
+            if (ctx == &committer || !ctx->inTx())
+                continue;
+            if (!(s.readers & ~ctx->validatedLevels()))
+                continue;
+            if (mgr.committerYields(committer, *ctx)) {
+                tracer->instant(committer.cpuId(),
+                                TxTracer::Ev::Arbitration,
+                                committer.depth(), line, ctx->cpuId());
+                out.yield = true;
+                out.peer = ctx->cpuId();
+                out.line = line;
+                return out;
+            }
+        }
+    }
+    return out;
+}
+
 void
 ConflictDetector::lockLines(const HtmContext& owner,
                             const std::vector<Addr>& lines)
@@ -228,6 +283,7 @@ ConflictDetector::eagerCheck(HtmContext& requester, Addr line,
     const SharerEntry* e = lookupSharers(line, is_write, true);
     if (!e)
         return Verdict::Proceed;
+    ContentionManager& mgr = contention();
     for (const SharerSlot& s : e->sharers) {
         HtmContext* ctx = s.ctx;
         if (ctx == &requester || !ctx->inTx())
@@ -240,6 +296,8 @@ ConflictDetector::eagerCheck(HtmContext& requester, Addr line,
             continue;
         ++statEagerConflicts;
 
+        // Physical constraints come first; the contention manager only
+        // decides within them.
         const bool victimValidated = (mask & ctx->validatedLevels()) != 0;
         bool requesterLoses = victimValidated;
         if (writerMask != 0 &&
@@ -249,27 +307,29 @@ ConflictDetector::eagerCheck(HtmContext& requester, Addr line,
             // resolves (it backs off and retries). To avoid deadlock
             // through nesting (a requester retrying an inner
             // transaction while holding outer-level lines the victim
-            // wants), an OLDER requester also evicts the younger
-            // holder. Age gives a total priority order — the oldest
-            // transaction is never evicted, so the system always makes
-            // progress (LogTM's possible-cycle/abort-younger policy).
+            // wants), a SENIOR requester also evicts the junior holder.
+            // Every policy's eviction rule is a strict total priority
+            // order — the most-senior transaction is never evicted, so
+            // the system always makes progress (LogTM's possible-cycle/
+            // abort-younger policy).
             requesterLoses = true;
-            const bool evictVictim = !victimValidated &&
-                                     requester.inTx() &&
-                                     requester.age() < ctx->age();
-            if (evictVictim)
+            const bool evictVictim =
+                !victimValidated && requester.inTx() &&
+                mgr.evictInPlaceVictim(requester, *ctx);
+            if (evictVictim) {
+                tracer->instant(ctx->cpuId(), TxTracer::Ev::Arbitration,
+                                ctx->depth(), line, requester.cpuId());
                 ctx->raiseViolation(mask & ~ctx->validatedLevels(), line,
                                     requester.cpuId());
+            }
         }
-        if (!requesterLoses &&
-            requester.config().policy == ConflictPolicy::OlderWins) {
-            // The older transaction (earlier outermost begin) wins.
-            requesterLoses =
-                requester.inTx() && ctx->age() <= requester.age();
-        }
+        if (!requesterLoses && requester.inTx())
+            requesterLoses = mgr.requesterLoses(requester, *ctx);
 
         if (requesterLoses) {
             ++statSelfViolations;
+            tracer->instant(requester.cpuId(), TxTracer::Ev::Arbitration,
+                            requester.depth(), line, ctx->cpuId());
             if (conflict_peer)
                 *conflict_peer = ctx->cpuId();
             return Verdict::SelfViolate;

@@ -23,9 +23,11 @@
 #define TMSIM_HTM_CONFLICT_DETECTOR_HH
 
 #include <coroutine>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "htm/contention.hh"
 #include "htm/htm_context.hh"
 #include "htm/signature.hh"
 #include "sim/stats.hh"
@@ -52,6 +54,40 @@ class ConflictDetector : public SharerIndexListener
 
     /** Point lock-stall span emission at @p t (the Machine's tracer). */
     void setTracer(TxTracer* t) { tracer = t; }
+
+    // --- contention management ---
+
+    /**
+     * The chip-wide contention manager. Created from the first
+     * registered context's configuration (addContext); before any
+     * context exists, a default Requester manager is materialised so
+     * raw users never see a null.
+     */
+    ContentionManager& contention();
+
+    /** Software abandoned @p cpu's attempt sequence (voluntary abort
+     *  that will not retry, or retry budget exhausted): drop its
+     *  fairness record so stale seniority/karma cannot leak into the
+     *  next, unrelated transaction. */
+    void noteSequenceAbandoned(CpuId cpu);
+
+    /** Outcome of the lazy commit-arbitration query. */
+    struct CommitYield
+    {
+        bool yield = false;
+        CpuId peer = -1;
+        Addr line = invalidAddr;
+    };
+
+    /**
+     * Lazy commit arbitration: should @p committer, already holding the
+     * commit token, surrender its slot instead of violating one of the
+     * active readers of @p lines (Hybrid's must-win escalation)? Pure
+     * query — no violation is raised; the caller self-violates and
+     * releases the token.
+     */
+    CommitYield commitYieldTarget(const HtmContext& committer,
+                                  const std::vector<Addr>& lines);
 
     // --- lazy protocol ---
 
@@ -205,7 +241,11 @@ class ConflictDetector : public SharerIndexListener
     };
 
     EventQueue& eq;
+    StatsRegistry& statsRef;
     std::vector<HtmContext*> ctxs;
+
+    /** Chip-wide contention manager (see contention()). */
+    std::unique_ptr<ContentionManager> cm;
 
     /** Lifecycle-event sink (never null; defaults to TxTracer::nil()). */
     TxTracer* tracer;

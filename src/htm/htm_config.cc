@@ -2,6 +2,37 @@
 
 namespace tmsim {
 
+const char*
+contentionPolicyName(ContentionPolicy p)
+{
+    switch (p) {
+    case ContentionPolicy::Requester: return "requester";
+    case ContentionPolicy::Timestamp: return "timestamp";
+    case ContentionPolicy::Karma: return "karma";
+    case ContentionPolicy::Polite: return "polite";
+    case ContentionPolicy::Hybrid: return "hybrid";
+    }
+    return "?";
+}
+
+bool
+contentionPolicyFromName(const std::string& s, ContentionPolicy& out)
+{
+    if (s == "requester")
+        out = ContentionPolicy::Requester;
+    else if (s == "timestamp")
+        out = ContentionPolicy::Timestamp;
+    else if (s == "karma")
+        out = ContentionPolicy::Karma;
+    else if (s == "polite")
+        out = ContentionPolicy::Polite;
+    else if (s == "hybrid")
+        out = ContentionPolicy::Hybrid;
+    else
+        return false;
+    return true;
+}
+
 HtmConfig
 HtmConfig::paperLazy()
 {
@@ -48,6 +79,10 @@ HtmConfig::describe() const
     }
     s += nesting == NestingMode::Full ? "/nested" : "/flattened";
     s += scheme == NestScheme::Associativity ? "/assoc" : "/multitrack";
+    if (contention != ContentionPolicy::Requester) {
+        s += "/cm=";
+        s += contentionPolicyName(contention);
+    }
     return s;
 }
 

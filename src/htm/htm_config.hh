@@ -41,6 +41,45 @@ enum class ConflictPolicy
     OlderWins,
 };
 
+/**
+ * Contention-management policy consulted at every arbitration and
+ * restart-scheduling decision (see src/htm/contention.hh). The paper
+ * leaves contention policy to software (section 3.2: violation
+ * handlers exist so "software can implement arbitrary policies");
+ * these are the bundled ones.
+ */
+enum class ContentionPolicy
+{
+    /** Legacy pass-through: arbitration follows ConflictPolicy
+     *  (requester-wins, or timestamp order under OlderWins) and the
+     *  backoff curve is the fixed exponential one. */
+    Requester,
+    /** Earlier first-begin tick wins; ties broken by CPU id. The
+     *  first-begin tick is retained across restarts of the same
+     *  attempt sequence, so an aborted transaction keeps its
+     *  seniority until it commits or gives up. */
+    Timestamp,
+    /** Priority accumulates with tracked accesses (one unit of karma
+     *  per read/write-set insertion) and is retained across aborts;
+     *  higher karma wins, ties fall back to timestamp order. */
+    Karma,
+    /** Requester always defers to the current holder and retries
+     *  after a randomized exponential backoff whose jitter is
+     *  proportional to the window. */
+    Polite,
+    /** Karma, plus a starvation guard: a transaction aborted more
+     *  than starvationThreshold times in a row escalates to must-win
+     *  seniority (it wins every arbitration, and lazy committers
+     *  yield their commit slot to it) until it commits. */
+    Hybrid,
+};
+
+/** Short lower-case name used by CLIs and replay files. */
+const char* contentionPolicyName(ContentionPolicy p);
+
+/** Parse a contentionPolicyName(); returns false on unknown names. */
+bool contentionPolicyFromName(const std::string& s, ContentionPolicy& out);
+
 /** Conflict-tracking granularity (paper 6.3.1: "If word-level
  *  tracking is implemented, we need per-word R and W bits"). Word
  *  granularity eliminates false sharing and makes the early-release
@@ -71,6 +110,29 @@ struct HtmConfig
     NestingMode nesting = NestingMode::Full;
     NestScheme scheme = NestScheme::Associativity;
     TrackGranularity granularity = TrackGranularity::Line;
+
+    /** Contention-management policy (arbitration + restart backoff). */
+    ContentionPolicy contention = ContentionPolicy::Requester;
+
+    /** Hybrid's starvation guard: consecutive aborts beyond this
+     *  threshold escalate the transaction to must-win seniority. */
+    int starvationThreshold = 8;
+
+    /**
+     * The policy the contention manager actually runs: an explicit
+     * ContentionPolicy wins; the legacy ConflictPolicy::OlderWins knob
+     * maps onto Timestamp so existing configurations keep their
+     * age-ordered arbitration (now with deterministic tiebreaks).
+     */
+    ContentionPolicy
+    effectiveContention() const
+    {
+        if (contention != ContentionPolicy::Requester)
+            return contention;
+        return policy == ConflictPolicy::OlderWins
+                   ? ContentionPolicy::Timestamp
+                   : ContentionPolicy::Requester;
+    }
 
     /** Hardware-supported nesting depth; deeper levels are handled by
      *  the overflow/virtualisation path with a cycle penalty. */

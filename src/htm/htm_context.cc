@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "htm/contention.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -76,6 +77,8 @@ HtmContext::begin(TxKind kind, Tick now)
     lvl.beginTick = now;
     lvl.undoBase = undoLog.size();
     levels.push_back(std::move(lvl));
+    if (depth() == 1 && cmgr)
+        cmgr->onOuterBegin(id, now);
     tracer->beginTx(id,
                     depth() == 1 ? TxTracer::Ev::TxOuter
                     : kind == TxKind::Open ? TxTracer::Ev::TxOpen
@@ -198,6 +201,8 @@ HtmContext::noteReadInsert(Addr unit)
     std::uint32_t& m = aggReaders[unit];
     m |= 1u << (depth() - 1);
     readSig.add(sigEpoch, unit);
+    if (cmgr)
+        cmgr->onTrackedAccess(id);
     if (sharerListener)
         sharerListener->onSharerUpdate(this, unit, m, writersOf(unit));
 }
@@ -208,6 +213,8 @@ HtmContext::noteWriteInsert(Addr unit)
     std::uint32_t& m = aggWriters[unit];
     m |= 1u << (depth() - 1);
     writeSig.add(sigEpoch, unit);
+    if (cmgr)
+        cmgr->onTrackedAccess(id);
     if (sharerListener)
         sharerListener->onSharerUpdate(this, unit, readersOf(unit), m);
 }
@@ -530,8 +537,11 @@ HtmContext::popCommittedTop()
     dropLevelFromAggregates(lvl);
     validatedMask &= ~(1u << (lvl - 1));
     levels.pop_back();
-    if (levels.empty())
+    if (levels.empty()) {
+        if (cmgr)
+            cmgr->onOuterCommit(id);
         onAllLevelsGone();
+    }
 }
 
 void
@@ -560,8 +570,14 @@ HtmContext::rollbackTo(int target)
         tracer->endTx(id, lvl, TxTracer::Outcome::Rollback, vaddr);
     }
     maybeReleaseReport();
-    if (levels.empty())
+    if (levels.empty()) {
+        // The outermost level rolled back: the attempt sequence stays
+        // active (the runtime usually retries), but the abort streak
+        // grows and may trip the starvation guard.
+        if (cmgr)
+            cmgr->onOuterRollback(id);
         onAllLevelsGone();
+    }
 }
 
 void
@@ -684,6 +700,8 @@ HtmContext::resetAll()
     vattacker = -1;
     vheld = false;
     reporting = true;
+    if (cmgr)
+        cmgr->onSequenceAbandoned(id);
     onAllLevelsGone();
     if (l1)
         l1->clearAllTx();

@@ -24,6 +24,7 @@
 
 namespace tmsim {
 
+class ContentionManager;
 class TxTracer;
 
 /**
@@ -141,6 +142,12 @@ class HtmContext
     /** Point lifecycle-event emission at @p t (the Machine's tracer).
      *  Defaults to TxTracer::nil(), the disabled null sink. */
     void setTracer(TxTracer* t) { tracer = t; }
+
+    /** Register the chip-wide contention manager (the ConflictDetector
+     *  wires this in addContext); it receives outer-begin/commit/
+     *  rollback and tracked-access lifecycle events for fairness
+     *  bookkeeping. Null (raw unit tests) disables the hooks. */
+    void setContentionManager(ContentionManager* m) { cmgr = m; }
 
     /** UndoLog mode: this context has an uncommitted in-place write of
      *  @p word_addr. */
@@ -365,6 +372,9 @@ class HtmContext
     std::uint32_t validatedMask = 0;
 
     SharerIndexListener* sharerListener = nullptr;
+
+    /** Chip-wide contention manager (nullable; see setContentionManager). */
+    ContentionManager* cmgr = nullptr;
 
     /** Scratch buffers reused by topWriteLines/topWrittenWords so the
      *  commit path does not allocate per transaction. */

@@ -48,6 +48,16 @@ class HandlerStack
     bool empty() const { return entries.empty(); }
     size_t size() const { return entries.size(); }
 
+    /** Would pushing a handler with @p n_args arguments overflow the
+     *  stack? Callers probe this first and turn an overflow into a
+     *  recoverable per-transaction abort; the fatal() in push() is
+     *  only a backstop for unchecked raw use. */
+    bool
+    wouldOverflow(size_t n_args) const
+    {
+        return topW + 2 + n_args > capWords;
+    }
+
     /** Push a handler; returns the new entry (for traffic addresses). */
     const Entry&
     push(Fn fn, std::vector<Word> args)

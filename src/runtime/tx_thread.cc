@@ -114,8 +114,19 @@ TxThread::runTx(TxKind kind, TxBody body, TxOpts opts)
             }
         }
 
-        if (next == Next::Return)
+        if (next == Next::Return) {
+            // This attempt sequence is over without a commit (voluntary
+            // abort that will not retry, or retry budget exhausted):
+            // drop the contention manager's fairness record so stale
+            // seniority/karma cannot leak into an unrelated later
+            // transaction. Only when we actually left the outermost
+            // level — an inner abort with a live enclosing transaction
+            // keeps the outer sequence (and its record) alive.
+            if (!cpuRef.htm().inTx())
+                cpuRef.memSystem().detector().noteSequenceAbandoned(
+                    cpuRef.id());
             co_return out;
+        }
         if (next == Next::RetryWait) {
             // Conditional synchronisation: park until woken, then
             // re-execute the body from scratch.
@@ -218,15 +229,10 @@ TxThread::backoff(int retries)
 {
     if (!cpuRef.htm().config().retryBackoff)
         co_return;
-    Cycles d = 0;
-    if (cpuRef.htm().config().conflict == ConflictMode::Eager) {
-        const int shift = std::min(retries - 1, 7);
-        d = (8ull << shift) + threadRng.below(8);
-    } else {
-        // Lazy conflicts were decided by a committer; a tiny jitter is
-        // enough to break symmetric retry lockstep.
-        d = threadRng.below(4);
-    }
+    const bool eager =
+        cpuRef.htm().config().conflict == ConflictMode::Eager;
+    Cycles d = cpuRef.memSystem().detector().contention().backoffDelay(
+        cpuRef.id(), retries, eager, threadRng);
     if (d) {
         const Tick start = cpuRef.now();
         cpuRef.tracer()->span(cpuRef.id(), TxTracer::Ev::Backoff, start, d);
@@ -239,6 +245,12 @@ TxThread::onCommit(CommitHandlerFn fn, std::vector<Word> args)
 {
     if (!cpuRef.htm().inTx())
         fatal("onCommit outside a transaction");
+    if (ch.wouldOverflow(args.size())) {
+        // Registration would overflow the thread's handler stack: a
+        // recoverable per-transaction abort (through the normal abort
+        // protocol), not a simulator death. Throws TxAbortSignal.
+        co_await cpuRef.xabort(handlerOverflowCode);
+    }
     const auto& e = ch.push(std::move(fn), std::move(args));
     // Registration cost (paper: 9 instructions for no arguments).
     co_await cpuRef.imld(ch.topFieldAddr());              // 1
@@ -258,6 +270,8 @@ TxThread::onViolation(ViolationHandlerFn fn, std::vector<Word> args)
 {
     if (!cpuRef.htm().inTx())
         fatal("onViolation outside a transaction");
+    if (vh.wouldOverflow(args.size()))
+        co_await cpuRef.xabort(handlerOverflowCode);
     const auto& e = vh.push(std::move(fn), std::move(args));
     co_await cpuRef.imld(vh.topFieldAddr());
     co_await cpuRef.exec(2);
@@ -275,6 +289,8 @@ TxThread::onAbort(AbortHandlerFn fn, std::vector<Word> args)
 {
     if (!cpuRef.htm().inTx())
         fatal("onAbort outside a transaction");
+    if (ah.wouldOverflow(args.size()))
+        co_await cpuRef.xabort(handlerOverflowCode);
     const auto& e = ah.push(std::move(fn), std::move(args));
     co_await cpuRef.imld(ah.topFieldAddr());
     co_await cpuRef.exec(2);

@@ -89,6 +89,11 @@ class TxThread
      *  thread until wake() instead of returning Aborted. */
     static constexpr Word retryYieldCode = 0x52455452; // 'RETR'
 
+    /** Abort code reported when a handler registration would overflow
+     *  its handler stack: the transaction aborts recoverably (through
+     *  the normal abort-handler path) instead of killing the sim. */
+    static constexpr Word handlerOverflowCode = 0x484F5646; // 'HOVF'
+
     explicit TxThread(Cpu& cpu);
 
     TxThread(const TxThread&) = delete;

@@ -63,7 +63,14 @@ void
 StatsRegistry::formula(const std::string& name, const std::string& num,
                        const std::string& den)
 {
-    formulas[name] = Formula{num, den};
+    formulas[name] = Formula{num, den, Formula::Kind::Ratio};
+}
+
+void
+StatsRegistry::jainFairness(const std::string& name,
+                            const std::string& pattern)
+{
+    formulas[name] = Formula{pattern, "", Formula::Kind::JainFairness};
 }
 
 std::uint64_t
@@ -110,10 +117,44 @@ StatsRegistry::formulaValue(const std::string& name) const
     auto it = formulas.find(name);
     if (it == formulas.end())
         return 0.0;
-    const std::uint64_t den = sum(it->second.denominator);
+    const Formula& f = it->second;
+    if (f.kind == Formula::Kind::JainFairness) {
+        // Jain's index over every counter matching the pattern:
+        // (sum x)^2 / (n * sum x^2). 1.0 when all shares are equal,
+        // 1/n when one counter holds everything.
+        const auto star = f.numerator.find('*');
+        const std::string prefix = f.numerator.substr(0, star);
+        const std::string suffix =
+            star == std::string::npos ? "" : f.numerator.substr(star + 1);
+        double s = 0.0, sq = 0.0;
+        std::uint64_t n = 0;
+        for (const auto& [cname, ctr] : counters) {
+            if (star == std::string::npos) {
+                if (cname != f.numerator)
+                    continue;
+            } else {
+                if (cname.size() < prefix.size() + suffix.size())
+                    continue;
+                if (cname.compare(0, prefix.size(), prefix) != 0)
+                    continue;
+                if (cname.compare(cname.size() - suffix.size(),
+                                  suffix.size(), suffix) != 0) {
+                    continue;
+                }
+            }
+            const double x = static_cast<double>(ctr.value());
+            s += x;
+            sq += x * x;
+            ++n;
+        }
+        if (n == 0 || sq == 0.0)
+            return 0.0;
+        return (s * s) / (static_cast<double>(n) * sq);
+    }
+    const std::uint64_t den = sum(f.denominator);
     if (den == 0)
         return 0.0;
-    return static_cast<double>(sum(it->second.numerator)) /
+    return static_cast<double>(sum(f.numerator)) /
            static_cast<double>(den);
 }
 
@@ -197,6 +238,9 @@ StatsRegistry::dumpJson(std::ostream& os) const
            << "\": {\"value\": " << fmtDouble(formulaValue(name))
            << ", \"numerator\": \"" << jsonEscape(f.numerator)
            << "\", \"denominator\": \"" << jsonEscape(f.denominator)
+           << "\", \"kind\": \""
+           << (f.kind == Formula::Kind::JainFairness ? "jain_fairness"
+                                                     : "ratio")
            << "\"}";
         first = false;
     }

@@ -152,14 +152,24 @@ class StatsRegistry
     };
 
     /**
-     * A derived ratio numerator/denominator where both sides are
-     * counter sum() patterns ("prefix*suffix"). Evaluated against the
-     * owning registry at dump/value time.
+     * A derived statistic evaluated against the owning registry at
+     * dump/value time. Ratio formulas divide two counter sum()
+     * patterns ("prefix*suffix"); Jain-fairness formulas compute
+     * (sum x)^2 / (n * sum x^2) over every counter matching the
+     * numerator pattern (1.0 = perfectly fair, 1/n = one counter has
+     * everything; 0.0 while no counter matches).
      */
     struct Formula
     {
+        enum class Kind : std::uint8_t
+        {
+            Ratio,
+            JainFairness,
+        };
+
         std::string numerator;
         std::string denominator;
+        Kind kind = Kind::Ratio;
     };
 
     /**
@@ -177,6 +187,10 @@ class StatsRegistry
      */
     void formula(const std::string& name, const std::string& num,
                  const std::string& den);
+
+    /** Register a Jain fairness index @p name over every counter
+     *  matching @p pattern (e.g. "cpu*.htm.outer_commits"). */
+    void jainFairness(const std::string& name, const std::string& pattern);
 
     /** Read a counter's current value (0 if never registered). */
     std::uint64_t value(const std::string& name) const;

@@ -19,6 +19,7 @@ evName(TxTracer::Ev ev)
     case TxTracer::Ev::ViolationRaised: return "violation_raised";
     case TxTracer::Ev::ViolationDelivered: return "violation_delivered";
     case TxTracer::Ev::AbortRequested: return "abort_requested";
+    case TxTracer::Ev::Arbitration: return "arbitration";
     case TxTracer::Ev::CommitHandler: return "handler.commit";
     case TxTracer::Ev::ViolationHandler: return "handler.violation";
     case TxTracer::Ev::AbortHandler: return "handler.abort";

@@ -53,6 +53,10 @@ class TxTracer
         ViolationRaised,
         ViolationDelivered,
         AbortRequested,
+        /** A contention-manager decision went against this CPU: it
+         *  self-violated, was evicted, or a committer yielded to it
+         *  (addr = conflicting unit, other = opposing CPU). */
+        Arbitration,
         CommitHandler,
         ViolationHandler,
         AbortHandler,

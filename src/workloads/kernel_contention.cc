@@ -1,0 +1,52 @@
+#include "workloads/kernel_contention.hh"
+
+namespace tmsim {
+
+void
+ContentionKernel::init(Machine& m, int /* n_threads */)
+{
+    // One line is enough: hotWords is capped at a line's worth of
+    // words so every transaction collides on the same tracking unit
+    // under line granularity (and on the same words under word
+    // granularity when hotWords spans them all).
+    hotBase = m.memory().allocate(64, 64);
+}
+
+SimTask
+ContentionKernel::thread(TxThread& t, int tid, int n_threads)
+{
+    (void)n_threads;
+    const int words = std::min(p.hotWords, 64 / static_cast<int>(wordBytes));
+    const int hold = tid < p.longThreads ? p.holdCycles * p.longFactor
+                                         : p.holdCycles;
+    for (int it = 0; it < p.itersPerThread; ++it) {
+        co_await t.atomic([&](TxThread& tx) -> SimTask {
+            for (int w = 0; w < words; ++w) {
+                const Addr a =
+                    hotBase + static_cast<Addr>(w) * wordBytes;
+                Word v = co_await tx.ld(a);
+                co_await tx.work(static_cast<std::uint64_t>(hold));
+                co_await tx.st(a, v + 1);
+            }
+        });
+        if (p.thinkCycles > 0)
+            co_await t.work(static_cast<std::uint64_t>(p.thinkCycles));
+    }
+}
+
+bool
+ContentionKernel::verify(Machine& m, int n_threads)
+{
+    const int words = std::min(p.hotWords, 64 / static_cast<int>(wordBytes));
+    const Word expect = static_cast<Word>(p.itersPerThread) *
+                        static_cast<Word>(n_threads);
+    for (int w = 0; w < words; ++w) {
+        if (m.memory().read(hotBase + static_cast<Addr>(w) * wordBytes) !=
+            expect) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace tmsim

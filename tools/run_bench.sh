@@ -17,6 +17,10 @@ build_dir="${BUILD_DIR:-${repo_root}/build-bench}"
 
 all_targets=(micro_sim_ops abl_conflict_index)
 
+# Plain-printf ablation exes that manage their own JSON output (no
+# google-benchmark flags); each entry maps target -> output flag.
+plain_targets=(abl_contention)
+
 targets=()
 extra_args=()
 for arg in "$@"; do
@@ -26,19 +30,36 @@ for arg in "$@"; do
     esac
 done
 if [ "${#targets[@]}" -eq 0 ]; then
-    targets=("${all_targets[@]}")
+    targets=("${all_targets[@]}" "${plain_targets[@]}")
 fi
+
+gbench=()
+plain=()
+for t in "${targets[@]}"; do
+    if [[ " ${plain_targets[*]} " == *" ${t} "* ]]; then
+        plain+=("$t")
+    else
+        gbench+=("$t")
+    fi
+done
 
 cmake -B "${build_dir}" -S "${repo_root}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${build_dir}" -j "$(nproc)" --target "${targets[@]}"
 
-for t in "${targets[@]}"; do
+for t in "${gbench[@]+"${gbench[@]}"}"; do
     out="${repo_root}/BENCH_${t}.json"
     echo "== ${t} -> ${out}"
     "${build_dir}/bench/${t}" \
         --benchmark_format=json \
         --benchmark_out="${out}" \
         --benchmark_out_format=json \
+        "${extra_args[@]+"${extra_args[@]}"}"
+done
+
+for t in "${plain[@]+"${plain[@]}"}"; do
+    out="${repo_root}/BENCH_${t#abl_}.json"
+    echo "== ${t} -> ${out}"
+    "${build_dir}/bench/${t}" --out "${out}" \
         "${extra_args[@]+"${extra_args[@]}"}"
 done

@@ -42,6 +42,10 @@ usage()
         "  --max-ticks N      per-run simulated tick limit\n"
         "  --shrink-runs N    differential-run budget for shrinking "
         "(default 400)\n"
+        "  --contention P     force one contention policy (requester|"
+        "timestamp|karma|polite|hybrid)\n"
+        "                     instead of the per-seed draw; also "
+        "overrides replays\n"
         "  --selftest-inject  verify the pipeline catches an injected "
         "bug\n"
         "  --quiet            suppress simulator log output\n");
@@ -146,6 +150,8 @@ main(int argc, char** argv)
     bool expectFail = false;
     bool selftest = false;
     bool quiet = false;
+    bool forcePolicy = false;
+    ContentionPolicy policy = ContentionPolicy::Requester;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -168,6 +174,11 @@ main(int argc, char** argv)
             maxTicks = std::strtoull(next().c_str(), nullptr, 0);
         } else if (arg == "--shrink-runs") {
             shrinkRuns = std::atoi(next().c_str());
+        } else if (arg == "--contention") {
+            const std::string name = next();
+            if (!contentionPolicyFromName(name, policy))
+                fatal("unknown contention policy '%s'", name.c_str());
+            forcePolicy = true;
         } else if (arg == "--selftest-inject") {
             selftest = true;
         } else if (arg == "--quiet") {
@@ -197,6 +208,8 @@ main(int argc, char** argv)
         std::string err;
         if (!FuzzProgram::parse(buf.str(), p, &err))
             fatal("malformed replay file: %s", err.c_str());
+        if (forcePolicy)
+            p.contention = policy;
         const FuzzFailure fail = runProgramAllConfigs(p, maxTicks);
         if (fail.failed) {
             std::printf("replay FAILS [%s]: %s\n", fail.config.c_str(),
@@ -215,7 +228,9 @@ main(int argc, char** argv)
     constexpr int maxReported = 5;
     int failures = 0;
     for (std::uint64_t s = seedStart; s < seedStart + seeds; ++s) {
-        const FuzzProgram p = generateProgram(s);
+        FuzzProgram p = generateProgram(s);
+        if (forcePolicy)
+            p.contention = policy;
         const FuzzFailure fail = runProgramAllConfigs(p, maxTicks);
         if (!fail.failed) {
             if ((s - seedStart + 1) % 100 == 0) {

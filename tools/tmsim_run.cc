@@ -20,6 +20,7 @@
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 #include "workloads/kernel_condsync.hh"
+#include "workloads/kernel_contention.hh"
 #include "workloads/kernel_fuzz.hh"
 #include "workloads/kernel_iobench.hh"
 #include "workloads/kernel_mp3d.hh"
@@ -36,7 +37,7 @@ const char* const kernelNames[] = {
     "tomcatv",        "water",         "specjbb-flat",
     "specjbb-closed", "specjbb-open",  "specjbb-hybrid", "iobench-tx",
     "iobench-serialized", "condsync-sched", "condsync-poll",
-    "fuzz",
+    "contend",        "fuzz",
 };
 
 std::unique_ptr<Kernel>
@@ -79,6 +80,8 @@ makeKernel(const std::string& name, std::uint64_t fuzz_seed)
         p.useScheduler = name == "condsync-sched";
         return std::make_unique<CondSyncKernel>(p);
     }
+    if (name == "contend")
+        return std::make_unique<ContentionKernel>();
     if (name == "fuzz")
         return std::make_unique<FuzzKernel>(fuzz_seed);
     return nullptr;
@@ -94,6 +97,10 @@ usage()
         "  --version wb|undolog speculative versioning\n"
         "  --conflict lazy|eager\n"
         "  --policy requester|older   (eager resolution)\n"
+        "  --contention P       contention manager: requester|timestamp|\n"
+        "                       karma|polite|hybrid\n"
+        "  --starvation-k N     hybrid: escalate after N consecutive\n"
+        "                       aborts (default 8)\n"
         "  --nesting full|flatten\n"
         "  --scheme assoc|multitrack  (cache nesting scheme)\n"
         "  --granularity line|word    (conflict tracking)\n"
@@ -145,6 +152,14 @@ main(int argc, char** argv)
         } else if (arg == "--policy") {
             htm.policy = next() == "older" ? ConflictPolicy::OlderWins
                                            : ConflictPolicy::RequesterWins;
+        } else if (arg == "--contention") {
+            const std::string name = next();
+            if (!contentionPolicyFromName(name, htm.contention))
+                fatal("unknown contention policy '%s'", name.c_str());
+        } else if (arg == "--starvation-k") {
+            htm.starvationThreshold = std::atoi(next().c_str());
+            if (htm.starvationThreshold < 1)
+                fatal("--starvation-k must be >= 1");
         } else if (arg == "--nesting") {
             htm.nesting = next() == "flatten" ? NestingMode::Flatten
                                               : NestingMode::Full;
