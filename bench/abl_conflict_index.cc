@@ -19,12 +19,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/machine.hh"
 #include "runtime/tx_thread.hh"
+#include "sim/campaign.hh"
 #include "sim/logging.hh"
+#include "sim/parse.hh"
 
 using namespace tmsim;
 
@@ -169,41 +174,131 @@ BM_NonTxStoreScan(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * 64);
 }
 
+/** Result of one end-to-end hot-line run (simulated metrics only). */
+struct E2eResult
+{
+    Tick cycles = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t rollbacks = 0;
+};
+
 /**
- * End-to-end: every CPU runs transactions that read the hot lines and
- * update private counters, so each commit broadcast confronts the full
- * sharer population. Simulated-transactions per host-second.
+ * The end-to-end workload: every CPU runs transactions that read the
+ * hot lines and update private counters, so each commit broadcast
+ * confronts the full sharer population.
  */
+E2eResult
+runE2e(int cpus, const HtmConfig& htm)
+{
+    Machine m(config(cpus, htm));
+    std::vector<std::unique_ptr<TxThread>> threads;
+    for (int i = 0; i < cpus; ++i)
+        threads.push_back(std::make_unique<TxThread>(m.cpu(i)));
+    Addr hot = m.memory().allocate(kHotLines * 32);
+    Addr priv = m.memory().allocate(static_cast<Addr>(cpus) * 1024);
+    for (int i = 0; i < cpus; ++i) {
+        m.spawn(i, [&, i](Cpu&) -> SimTask {
+            TxThread& t = *threads[static_cast<size_t>(i)];
+            Addr mine = priv + static_cast<Addr>(i) * 1024;
+            for (int k = 0; k < 20; ++k) {
+                co_await t.atomic([&](TxThread& tx) -> SimTask {
+                    Word h = co_await tx.ld(hot);
+                    for (int j = 0; j < 12; ++j) {
+                        Word v = co_await tx.ld(mine + 8 * j);
+                        co_await tx.st(mine + 8 * j, v + h + 1);
+                    }
+                });
+            }
+        });
+    }
+    E2eResult r;
+    r.cycles = m.run();
+    r.commits = m.stats().sum("cpu*.htm.commits");
+    r.rollbacks = m.stats().sum("cpu*.htm.rollbacks");
+    return r;
+}
+
+/** Same workload as a host-time benchmark. */
 void
 BM_TxThroughputE2E(benchmark::State& state)
 {
     setQuiet(true);
     const int cpus = static_cast<int>(state.range(0));
     for (auto _ : state) {
-        Machine m(config(cpus, HtmConfig::paperLazy()));
-        std::vector<std::unique_ptr<TxThread>> threads;
-        for (int i = 0; i < cpus; ++i)
-            threads.push_back(std::make_unique<TxThread>(m.cpu(i)));
-        Addr hot = m.memory().allocate(kHotLines * 32);
-        Addr priv = m.memory().allocate(static_cast<Addr>(cpus) * 1024);
-        for (int i = 0; i < cpus; ++i) {
-            m.spawn(i, [&, i](Cpu&) -> SimTask {
-                TxThread& t = *threads[static_cast<size_t>(i)];
-                Addr mine = priv + static_cast<Addr>(i) * 1024;
-                for (int k = 0; k < 20; ++k) {
-                    co_await t.atomic([&](TxThread& tx) -> SimTask {
-                        Word h = co_await tx.ld(hot);
-                        for (int j = 0; j < 12; ++j) {
-                            Word v = co_await tx.ld(mine + 8 * j);
-                            co_await tx.st(mine + 8 * j, v + h + 1);
-                        }
-                    });
-                }
-            });
-        }
-        m.run();
+        E2eResult r = runE2e(cpus, HtmConfig::paperLazy());
+        benchmark::DoNotOptimize(r);
     }
     state.SetItemsProcessed(state.iterations() * 20 * cpus);
+}
+
+/**
+ * Pool-driven sweep mode (--sweep-out FILE [--jobs N]): the end-to-end
+ * hot-line workload over a design x CPU grid, fanned across host
+ * workers and merged in grid order. All metrics are simulated (cycles,
+ * commits, rollbacks), so the document is identical for any --jobs.
+ */
+int
+runSweep(const std::string& out_file, int jobs)
+{
+    setQuiet(true);
+
+    struct Design
+    {
+        const char* name;
+        HtmConfig htm;
+    };
+    const Design designs[] = {
+        {"lazy-wb", HtmConfig::paperLazy()},
+        {"eager-undolog", HtmConfig::eagerUndoLog()},
+    };
+    const int cpuCounts[] = {1, 2, 4, 8, 16};
+
+    struct Cell
+    {
+        const Design* d;
+        int cpus;
+    };
+    std::vector<Cell> grid;
+    for (const Design& d : designs)
+        for (int n : cpuCounts)
+            grid.push_back(Cell{&d, n});
+
+    std::ofstream os(out_file);
+    if (!os)
+        fatal("cannot open %s", out_file.c_str());
+    os << "{\n  \"bench\": \"abl_conflict_index_e2e\",\n"
+       << "  \"rows\": [\n";
+
+    CampaignOptions opt;
+    opt.jobs = jobs;
+    opt.quiet = true;
+    const CampaignResult cres = runCampaign<E2eResult>(
+        grid.size(), opt,
+        [&](std::size_t i) {
+            return runE2e(grid[i].cpus, grid[i].d->htm);
+        },
+        [&](std::size_t i, E2eResult&& r) {
+            const Cell& cell = grid[i];
+            std::printf("%-14s cpus %-3d %10llu cycles  %6llu commits  "
+                        "%6llu rollbacks\n",
+                        cell.d->name, cell.cpus,
+                        static_cast<unsigned long long>(r.cycles),
+                        static_cast<unsigned long long>(r.commits),
+                        static_cast<unsigned long long>(r.rollbacks));
+            os << "    {\"design\": \"" << cell.d->name
+               << "\", \"cpus\": " << cell.cpus
+               << ", \"cycles\": " << r.cycles
+               << ", \"commits\": " << r.commits
+               << ", \"rollbacks\": " << r.rollbacks << "}"
+               << (i + 1 < grid.size() ? "," : "") << "\n";
+            return true;
+        });
+    if (cres.failed)
+        fatal("sweep cancelled at cell %zu: %s", cres.failedJob,
+              cres.message.c_str());
+    os << "  ]\n}\n";
+    std::printf("# wrote %s\n", out_file.c_str());
+    return 0;
 }
 
 } // namespace
@@ -220,4 +315,31 @@ BENCHMARK(BM_TxThroughputE2E)
     ->ArgName("cpus")
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): --sweep-out selects the
+// pool-driven end-to-end grid; anything else goes to google-benchmark.
+int
+main(int argc, char** argv)
+{
+    std::string sweepOut;
+    int jobs = 1;
+    std::vector<char*> passthrough{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sweep-out") == 0 && i + 1 < argc) {
+            sweepOut = argv[++i];
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = parseInt(argv[++i], "--jobs", 1, 1024);
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    if (!sweepOut.empty())
+        return runSweep(sweepOut, jobs);
+
+    int bargc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bargc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bargc, passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

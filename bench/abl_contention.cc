@@ -15,7 +15,9 @@
  *    by the escalation threshold while the others can run long tails.
  *
  * With --out FILE the sweep is also written as JSON (the curated copy
- * lives at BENCH_contention.json in the repo root).
+ * lives at BENCH_contention.json in the repo root). With --jobs N the
+ * design x policy grid fans out across host worker threads; rows merge
+ * in grid order, so all output is identical for any N.
  */
 
 #include <cstdio>
@@ -24,7 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "sim/campaign.hh"
 #include "sim/logging.hh"
+#include "sim/parse.hh"
 #include "workloads/kernel_contention.hh"
 
 using namespace tmsim;
@@ -65,14 +69,17 @@ main(int argc, char** argv)
 {
     std::string outFile;
     int cpus = 8;
+    int jobs = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             outFile = argv[++i];
         } else if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
-            cpus = std::atoi(argv[++i]);
+            cpus = parseInt(argv[++i], "--cpus", 1, 64);
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = parseInt(argv[++i], "--jobs", 1, 1024);
         } else {
-            std::fprintf(stderr,
-                         "usage: abl_contention [--cpus N] [--out FILE]\n");
+            std::fprintf(stderr, "usage: abl_contention [--cpus N] "
+                                 "[--jobs N] [--out FILE]\n");
             return 2;
         }
     }
@@ -84,30 +91,54 @@ main(int argc, char** argv)
     std::printf("%-14s %-10s %9s %9s %9s %6s\n", "design", "policy",
                 "cycles", "rollback", "cmt/kcyc", "ok");
 
+    // Grid cells in design-major order; each cell is one isolated job
+    // and rows print in grid order at merge time, so the table and the
+    // JSON are --jobs invariant.
+    struct Cell
+    {
+        const Design* d;
+        ContentionPolicy pol;
+    };
+    std::vector<Cell> grid;
+    for (const Design& d : designs)
+        for (ContentionPolicy pol : policies)
+            grid.push_back(Cell{&d, pol});
+
     std::vector<Row> rows;
     bool allOk = true;
-    for (const Design& d : designs) {
-        for (ContentionPolicy pol : policies) {
+    CampaignOptions opt;
+    opt.jobs = jobs;
+    opt.quiet = true;
+    const CampaignResult cres = runCampaign<RunResult>(
+        grid.size(), opt,
+        [&](std::size_t i) {
+            const Cell& cell = grid[i];
             HtmConfig cfg;
-            cfg.version = d.version;
-            cfg.conflict = d.conflict;
-            cfg.contention = pol;
+            cfg.version = cell.d->version;
+            cfg.conflict = cell.d->conflict;
+            cfg.contention = cell.pol;
             ContentionKernel k;
-            RunResult r = runKernel(k, cfg, cpus);
+            return runKernel(k, cfg, cpus);
+        },
+        [&](std::size_t i, RunResult&& r) {
+            const Cell& cell = grid[i];
             const double tput =
                 r.cycles ? 1000.0 * static_cast<double>(r.commits) /
                                static_cast<double>(r.cycles)
                          : 0.0;
             allOk = allOk && r.verified;
-            std::printf("%-14s %-10s %9llu %9llu %9.2f %6s\n", d.name,
-                        contentionPolicyName(pol),
+            std::printf("%-14s %-10s %9llu %9llu %9.2f %6s\n",
+                        cell.d->name, contentionPolicyName(cell.pol),
                         static_cast<unsigned long long>(r.cycles),
                         static_cast<unsigned long long>(r.rollbacks),
                         tput, r.verified ? "yes" : "NO");
-            rows.push_back(
-                Row{d.name, contentionPolicyName(pol), r, tput});
-        }
-    }
+            rows.push_back(Row{cell.d->name,
+                               contentionPolicyName(cell.pol), r, tput});
+            return true;
+        });
+    if (cres.failed)
+        fatal("sweep cancelled at cell %zu: %s", cres.failedJob,
+              cres.message.c_str());
 
     // Per-policy mean throughput across the design points: the
     // headline Hybrid-vs-Timestamp comparison. (Per-design rows above

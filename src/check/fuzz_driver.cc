@@ -49,7 +49,8 @@ fuzzConfigs(const FuzzProgram& program)
 }
 
 FuzzFailure
-runProgramAllConfigs(const FuzzProgram& program, Tick max_ticks)
+runProgramAllConfigs(const FuzzProgram& program, Tick max_ticks,
+                     StatsRegistry* stats_out)
 {
     const std::vector<FuzzConfig> configs = fuzzConfigs(program);
     std::vector<std::pair<Addr, Word>> ref;
@@ -58,7 +59,7 @@ runProgramAllConfigs(const FuzzProgram& program, Tick max_ticks)
 
     for (const FuzzConfig& cfg : configs) {
         FuzzInterp interp(program, cfg.htm);
-        const ObservedRun run = interp.run(max_ticks);
+        const ObservedRun run = interp.run(max_ticks, stats_out);
         const OracleVerdict v = checkRun(program, run);
         if (!v.ok)
             return FuzzFailure{true, cfg.name, v.message};

@@ -39,10 +39,12 @@ struct FuzzFailure
     explicit operator bool() const { return failed; }
 };
 
-/** Run @p program under every config; first failure wins. */
+/** Run @p program under every config; first failure wins. With
+ *  @p stats_out, every executed run's machine stats merge into it. */
 FuzzFailure
 runProgramAllConfigs(const FuzzProgram& program,
-                     Tick max_ticks = FuzzInterp::defaultMaxTicks);
+                     Tick max_ticks = FuzzInterp::defaultMaxTicks,
+                     StatsRegistry* stats_out = nullptr);
 
 /**
  * Greedy shrink: repeatedly drop threads, thread ops and transaction

@@ -389,7 +389,7 @@ FuzzInterp::finish(Machine& m, bool hang)
 }
 
 ObservedRun
-FuzzInterp::run(Tick max_ticks)
+FuzzInterp::run(Tick max_ticks, StatsRegistry* stats_out)
 {
     MachineConfig cfg;
     cfg.numCpus = prog.numThreads();
@@ -411,10 +411,16 @@ FuzzInterp::run(Tick max_ticks)
 
     try {
         m.run(max_ticks);
+    } catch (const FatalError&) {
+        // A trapped fatal() is a campaign-level event (cancel the
+        // worker pool), not a per-seed oracle verdict.
+        throw;
     } catch (const std::exception& e) {
         setError(std::string("exception escaped simulation: ") +
                  e.what());
     }
+    if (stats_out)
+        stats_out->mergeFrom(m.stats());
     return finish(m, !m.allDone() && rec.error.empty());
 }
 

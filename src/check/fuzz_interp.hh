@@ -114,8 +114,11 @@ class FuzzInterp
 
     FuzzInterp(const FuzzProgram& program, const HtmConfig& htm);
 
-    /** Build a machine, execute the program, return the observation. */
-    ObservedRun run(Tick max_ticks = defaultMaxTicks);
+    /** Build a machine, execute the program, return the observation.
+     *  With @p stats_out, the machine's stats registry is merged into
+     *  it after the run (campaign aggregation). */
+    ObservedRun run(Tick max_ticks = defaultMaxTicks,
+                    StatsRegistry* stats_out = nullptr);
 
     // --- pieces for external harnesses ---
 

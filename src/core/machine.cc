@@ -54,6 +54,7 @@ Machine::allDone() const
 Tick
 Machine::run(Tick max_ticks)
 {
+    LogScope scope(logCtx);
     for (auto& slot : threads) {
         if (slot.started)
             continue;

@@ -14,6 +14,7 @@
 
 #include "core/cpu.hh"
 #include "core/mem_system.hh"
+#include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/task.hh"
 #include "sim/trace.hh"
@@ -52,6 +53,15 @@ class Machine
     /** The machine-wide transaction lifecycle tracer. Disabled (and
      *  effectively free) until tracer().enable(true). */
     TxTracer& tracer() { return tracerObj; }
+
+    /**
+     * This machine's diagnostic routing. Seeded from the context
+     * active on the constructing thread (so a campaign worker's quiet
+     * flag and fatal trap carry over) and installed as the calling
+     * thread's current context for the duration of run(), keeping
+     * concurrent machines' logging fully independent.
+     */
+    LogContext& logContext() { return logCtx; }
     MemSystem& memSystem() { return *memSys; }
     BackingStore& memory() { return memSys->memory(); }
     const MachineConfig& config() const { return cfg; }
@@ -102,6 +112,7 @@ class Machine
     };
 
     MachineConfig cfg;
+    LogContext logCtx = LogContext::inherit();
     EventQueue eq;
     StatsRegistry statsReg;
     TxTracer tracerObj;

@@ -1,0 +1,190 @@
+#include "sim/campaign.hh"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace tmsim {
+
+namespace {
+
+/** warn()/inform() lines a job emitted, buffered per job so the caller
+ *  can replay them in merge (job-index) order: campaign stderr is as
+ *  deterministic as campaign stdout, whatever the worker count. */
+struct JobLog
+{
+    std::vector<std::pair<std::string, std::string>> lines;
+};
+
+} // namespace
+
+CampaignResult
+CampaignPool::run(std::size_t num_jobs, const CampaignOptions& opt,
+                  const JobFn& body, const ReadyFn& on_ready)
+{
+    CampaignResult res;
+    if (num_jobs == 0)
+        return res;
+
+    std::vector<JobLog> logs(num_jobs);
+    auto makeCtx = [&](LogContext& ctx, std::size_t i) {
+        ctx.quiet = opt.quiet;
+        ctx.throwOnFatal = true;
+        ctx.sink = [&logs, i](const char* level, const std::string& msg) {
+            logs[i].lines.emplace_back(level, msg);
+        };
+    };
+    auto replay = [&](std::size_t i) {
+        for (const auto& [level, msg] : logs[i].lines)
+            std::fprintf(stderr, "%s: %s\n", level.c_str(), msg.c_str());
+        logs[i].lines.clear();
+    };
+
+    const int workers =
+        opt.jobs <= 1
+            ? 1
+            : static_cast<int>(
+                  std::min(static_cast<std::size_t>(opt.jobs), num_jobs));
+
+    if (workers <= 1) {
+        // Inline path: the exact operation sequence the parallel merge
+        // reproduces (body under a trapping context, replay, merge).
+        for (std::size_t i = 0; i < num_jobs; ++i) {
+            LogContext ctx;
+            makeCtx(ctx, i);
+            try {
+                LogScope scope(ctx);
+                body(i);
+            } catch (const std::exception& e) {
+                replay(i);
+                res.failed = true;
+                res.failedJob = i;
+                res.message = e.what();
+                return res;
+            }
+            replay(i);
+            ++res.merged;
+            if (!on_ready(i)) {
+                res.stopped = true;
+                return res;
+            }
+        }
+        return res;
+    }
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t next = 0;                       // guarded by mu
+    std::vector<char> done(num_jobs, 0);        // guarded by mu
+    std::map<std::size_t, std::string> errors;  // guarded by mu
+    bool cancel = false;                        // guarded by mu
+    int active = workers;                       // guarded by mu
+
+    auto workerLoop = [&]() {
+        for (;;) {
+            std::size_t i;
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                if (cancel || next >= num_jobs)
+                    break;
+                i = next++;
+            }
+            LogContext ctx;
+            makeCtx(ctx, i);
+            std::string err;
+            bool ok = true;
+            try {
+                LogScope scope(ctx);
+                body(i);
+            } catch (const std::exception& e) {
+                ok = false;
+                err = e.what();
+            } catch (...) {
+                ok = false;
+                err = "unknown exception escaped campaign job";
+            }
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                done[i] = 1;
+                if (!ok) {
+                    errors.emplace(i, std::move(err));
+                    cancel = true;
+                }
+            }
+            cv.notify_all();
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            --active;
+        }
+        cv.notify_all();
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        pool.emplace_back(workerLoop);
+    auto joinAll = [&]() {
+        for (std::thread& t : pool)
+            if (t.joinable())
+                t.join();
+    };
+
+    try {
+        for (std::size_t i = 0; i < num_jobs; ++i) {
+            bool ready;
+            {
+                std::unique_lock<std::mutex> lk(mu);
+                // Workers claim indices in ascending order, so once
+                // every worker has exited an un-done job can never
+                // complete: stop waiting for it.
+                cv.wait(lk, [&] { return done[i] || active == 0; });
+                ready = done[i] != 0;
+                if (ready) {
+                    auto it = errors.find(i);
+                    if (it != errors.end()) {
+                        res.failed = true;
+                        res.failedJob = i;
+                        res.message = it->second;
+                    }
+                }
+            }
+            if (!ready)
+                break;
+            replay(i);
+            if (res.failed)
+                break;
+            ++res.merged;
+            if (!on_ready(i)) {
+                res.stopped = true;
+                std::lock_guard<std::mutex> lk(mu);
+                cancel = true;
+                break;
+            }
+        }
+        // A failure can hide beyond the merged prefix when merging
+        // stopped first; surface the lowest-index one.
+        if (!res.failed && !res.stopped) {
+            std::lock_guard<std::mutex> lk(mu);
+            if (!errors.empty()) {
+                res.failed = true;
+                res.failedJob = errors.begin()->first;
+                res.message = errors.begin()->second;
+            }
+        }
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            cancel = true;
+        }
+        joinAll();
+        throw;
+    }
+    joinAll();
+    return res;
+}
+
+} // namespace tmsim

@@ -8,8 +8,6 @@ namespace tmsim {
 
 namespace {
 
-bool quietMode = false;
-
 std::string
 vstrfmt(const char* fmt, va_list ap)
 {
@@ -22,12 +20,56 @@ vstrfmt(const char* fmt, va_list ap)
     return std::string(buf.data(), static_cast<size_t>(n));
 }
 
+/** The active context of this host thread (nullptr → process default).
+ *  Thread-local so concurrent campaign workers never share routing. */
+thread_local LogContext* activeCtx = nullptr;
+
+void
+emit(const char* level, const std::string& msg)
+{
+    const LogContext& ctx = currentLogContext();
+    if (ctx.sink) {
+        ctx.sink(level, msg);
+        return;
+    }
+    std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
+}
+
 } // namespace
+
+LogContext&
+defaultLogContext()
+{
+    static LogContext ctx;
+    return ctx;
+}
+
+LogContext&
+currentLogContext()
+{
+    return activeCtx ? *activeCtx : defaultLogContext();
+}
+
+LogContext
+LogContext::inherit()
+{
+    return currentLogContext();
+}
+
+LogScope::LogScope(LogContext& ctx) : prev(activeCtx)
+{
+    activeCtx = &ctx;
+}
+
+LogScope::~LogScope()
+{
+    activeCtx = prev;
+}
 
 void
 setQuiet(bool quiet)
 {
-    quietMode = quiet;
+    defaultLogContext().quiet = quiet;
 }
 
 std::string
@@ -58,6 +100,8 @@ fatal(const char* fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
+    if (currentLogContext().throwOnFatal)
+        throw FatalError(s);
     std::fprintf(stderr, "fatal: %s\n", s.c_str());
     std::exit(1);
 }
@@ -65,25 +109,25 @@ fatal(const char* fmt, ...)
 void
 warn(const char* fmt, ...)
 {
-    if (quietMode)
+    if (currentLogContext().quiet)
         return;
     va_list ap;
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", s.c_str());
+    emit("warn", s);
 }
 
 void
 inform(const char* fmt, ...)
 {
-    if (quietMode)
+    if (currentLogContext().quiet)
         return;
     va_list ap;
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "info: %s\n", s.c_str());
+    emit("info", s);
 }
 
 } // namespace tmsim

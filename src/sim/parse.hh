@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Strict numeric CLI parsing shared by the tools. Bare strtoull/atoi
+ * silently turn "abc" into 0 — a fuzz campaign invoked with
+ * "--seeds abc" would report "0/0 seeds clean" and exit 0. These
+ * helpers fatal() on empty input, trailing garbage and range overflow
+ * so a mistyped flag aborts the run instead of faking success.
+ */
+
+#ifndef TMSIM_SIM_PARSE_HH
+#define TMSIM_SIM_PARSE_HH
+
+#include <cerrno>
+#include <climits>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace tmsim {
+
+/** Parse @p val as an unsigned 64-bit number (base prefixes allowed);
+ *  @p flag names the option in diagnostics. */
+inline std::uint64_t
+parseU64(const std::string& val, const char* flag)
+{
+    const char* s = val.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s, &end, 0);
+    if (end == s || *end != '\0')
+        fatal("%s: '%s' is not a number", flag, s);
+    if (errno == ERANGE)
+        fatal("%s: '%s' is out of range", flag, s);
+    if (val.find('-') != std::string::npos)
+        fatal("%s: '%s' must be non-negative", flag, s);
+    return static_cast<std::uint64_t>(v);
+}
+
+/** Parse @p val as a signed int within [@p min, @p max]. */
+inline int
+parseInt(const std::string& val, const char* flag, int min = INT_MIN,
+         int max = INT_MAX)
+{
+    const char* s = val.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(s, &end, 0);
+    if (end == s || *end != '\0')
+        fatal("%s: '%s' is not a number", flag, s);
+    if (errno == ERANGE || v < min || v > max)
+        fatal("%s: %s is out of range [%d, %d]", flag, s, min, max);
+    return static_cast<int>(v);
+}
+
+} // namespace tmsim
+
+#endif // TMSIM_SIM_PARSE_HH

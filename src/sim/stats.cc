@@ -147,8 +147,12 @@ StatsRegistry::formulaValue(const std::string& name) const
             sq += x * x;
             ++n;
         }
-        if (n == 0 || sq == 0.0)
+        if (n == 0)
             return 0.0;
+        // All matched counters hold zero: equal shares of nothing is
+        // still perfectly fair, not "no data" (which is n == 0 above).
+        if (sq == 0.0)
+            return 1.0;
         return (s * s) / (static_cast<double>(n) * sq);
     }
     const std::uint64_t den = sum(f.denominator);
@@ -156,6 +160,17 @@ StatsRegistry::formulaValue(const std::string& name) const
         return 0.0;
     return static_cast<double>(sum(f.numerator)) /
            static_cast<double>(den);
+}
+
+void
+StatsRegistry::mergeFrom(const StatsRegistry& other)
+{
+    for (const auto& [name, ctr] : other.counters)
+        counters[name] += ctr.value();
+    for (const auto& [name, dist] : other.dists)
+        dists[name].mergeFrom(dist);
+    for (const auto& [name, f] : other.formulas)
+        formulas.emplace(name, f);
 }
 
 void

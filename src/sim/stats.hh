@@ -133,6 +133,29 @@ class StatsRegistry
         /** Index of the highest non-empty bucket (-1 when empty). */
         int highestBucket() const;
 
+        /** Fold @p other's samples into this distribution, exactly as
+         *  if every sample had been taken here (campaign merging). */
+        void
+        mergeFrom(const Distribution& other)
+        {
+            if (other.cnt == 0)
+                return;
+            if (cnt == 0) {
+                minVal = other.minVal;
+                maxVal = other.maxVal;
+            } else {
+                if (other.minVal < minVal)
+                    minVal = other.minVal;
+                if (other.maxVal > maxVal)
+                    maxVal = other.maxVal;
+            }
+            cnt += other.cnt;
+            sumVal += other.sumVal;
+            for (int b = 0; b < numBuckets; ++b)
+                bucketCounts[static_cast<size_t>(b)] +=
+                    other.bucketCounts[static_cast<size_t>(b)];
+        }
+
         void
         reset()
         {
@@ -157,7 +180,9 @@ class StatsRegistry
      * patterns ("prefix*suffix"); Jain-fairness formulas compute
      * (sum x)^2 / (n * sum x^2) over every counter matching the
      * numerator pattern (1.0 = perfectly fair, 1/n = one counter has
-     * everything; 0.0 while no counter matches).
+     * everything). Matching counters that are all zero are equal
+     * shares of nothing — still 1.0; only "no counter matches" reads
+     * 0.0.
      */
     struct Formula
     {
@@ -207,6 +232,15 @@ class StatsRegistry
 
     /** Reset every counter and distribution to zero. */
     void resetAll();
+
+    /**
+     * Fold @p other into this registry: counters add, distributions
+     * merge sample-for-sample, formulas register where absent. Merging
+     * the same registries in the same order always produces the same
+     * result (maps iterate sorted), which is what makes campaign-
+     * aggregated stats independent of worker count.
+     */
+    void mergeFrom(const StatsRegistry& other);
 
     /**
      * Text dump: a "# tmsim-stats schema <v>" header, then "name value"

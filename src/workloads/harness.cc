@@ -1,12 +1,81 @@
 #include "workloads/harness.hh"
 
 #include "sim/logging.hh"
+#include "workloads/kernel_condsync.hh"
+#include "workloads/kernel_contention.hh"
+#include "workloads/kernel_fuzz.hh"
+#include "workloads/kernel_iobench.hh"
+#include "workloads/kernel_mp3d.hh"
+#include "workloads/kernel_specjbb.hh"
+#include "workloads/kernels_scientific.hh"
 
 namespace tmsim {
 
+const std::vector<std::string>&
+namedKernels()
+{
+    static const std::vector<std::string> names = {
+        "barnes",         "fmm",           "moldyn",
+        "mp3d",           "mp3d-open",     "swim",
+        "tomcatv",        "water",         "specjbb-flat",
+        "specjbb-closed", "specjbb-open",  "specjbb-hybrid",
+        "iobench-tx",     "iobench-serialized",
+        "condsync-sched", "condsync-poll",
+        "contend",        "fuzz",
+    };
+    return names;
+}
+
+std::unique_ptr<Kernel>
+makeNamedKernel(const std::string& name, std::uint64_t fuzz_seed)
+{
+    if (name == "barnes")
+        return std::make_unique<SciKernel>(sciBarnes());
+    if (name == "fmm")
+        return std::make_unique<SciKernel>(sciFmm());
+    if (name == "moldyn")
+        return std::make_unique<SciKernel>(sciMoldyn());
+    if (name == "mp3d")
+        return std::make_unique<Mp3dKernel>();
+    if (name == "mp3d-open") {
+        Mp3dParams p;
+        p.openReductions = true;
+        return std::make_unique<Mp3dKernel>(p);
+    }
+    if (name == "swim")
+        return std::make_unique<SciKernel>(sciSwim());
+    if (name == "tomcatv")
+        return std::make_unique<SciKernel>(sciTomcatv());
+    if (name == "water")
+        return std::make_unique<SciKernel>(sciWater());
+    if (name == "specjbb-flat")
+        return std::make_unique<SpecJbbKernel>(JbbVariant::Flat);
+    if (name == "specjbb-closed")
+        return std::make_unique<SpecJbbKernel>(JbbVariant::ClosedNested);
+    if (name == "specjbb-open")
+        return std::make_unique<SpecJbbKernel>(JbbVariant::OpenNested);
+    if (name == "specjbb-hybrid")
+        return std::make_unique<SpecJbbKernel>(JbbVariant::Hybrid);
+    if (name == "iobench-tx" || name == "iobench-serialized") {
+        IoBenchParams p;
+        p.transactional = name == "iobench-tx";
+        return std::make_unique<IoBenchKernel>(p);
+    }
+    if (name == "condsync-sched" || name == "condsync-poll") {
+        CondSyncParams p;
+        p.useScheduler = name == "condsync-sched";
+        return std::make_unique<CondSyncKernel>(p);
+    }
+    if (name == "contend")
+        return std::make_unique<ContentionKernel>();
+    if (name == "fuzz")
+        return std::make_unique<FuzzKernel>(fuzz_seed);
+    return nullptr;
+}
+
 RunResult
 runKernel(Kernel& kernel, const HtmConfig& htm, int n_threads,
-          Addr mem_bytes)
+          Addr mem_bytes, StatsRegistry* stats_out)
 {
     MachineConfig cfg;
     cfg.numCpus = n_threads;
@@ -43,6 +112,8 @@ runKernel(Kernel& kernel, const HtmConfig& htm, int n_threads,
         instr += m.cpu(i).instret();
     r.instructions = instr;
     r.verified = kernel.verify(m, n_threads);
+    if (stats_out)
+        stats_out->mergeFrom(m.stats());
     return r;
 }
 

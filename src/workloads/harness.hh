@@ -50,9 +50,20 @@ class Kernel
     virtual bool verify(Machine& m, int n_threads) = 0;
 };
 
-/** Run @p kernel with @p n_threads CPUs under @p htm. */
+/** Run @p kernel with @p n_threads CPUs under @p htm. With
+ *  @p stats_out, the machine's full stats registry merges into it
+ *  after the run (sweep/campaign aggregation). */
 RunResult runKernel(Kernel& kernel, const HtmConfig& htm, int n_threads,
-                    Addr mem_bytes = 64ull * 1024 * 1024);
+                    Addr mem_bytes = 64ull * 1024 * 1024,
+                    StatsRegistry* stats_out = nullptr);
+
+/** Names of every bundled kernel, in listing order. */
+const std::vector<std::string>& namedKernels();
+
+/** Instantiate a bundled kernel by name (nullptr if unknown).
+ *  @p fuzz_seed parameterises the 'fuzz' kernel's program draw. */
+std::unique_ptr<Kernel> makeNamedKernel(const std::string& name,
+                                        std::uint64_t fuzz_seed = 1);
 
 /** One bar of the paper's figure 5. */
 struct Fig5Row

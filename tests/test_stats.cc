@@ -195,3 +195,104 @@ TEST(Reset, ResetAllZeroesCountersAndDistributions)
     EXPECT_EQ(reg.value("c"), 0u);
     EXPECT_EQ(reg.findDistribution("d")->count(), 0u);
 }
+
+TEST(JainFairness, PerfectAndSkewedShares)
+{
+    StatsRegistry reg;
+    reg.counter("cpu0.commits") += 4;
+    reg.counter("cpu1.commits") += 4;
+    reg.jainFairness("fair", "cpu*.commits");
+    EXPECT_DOUBLE_EQ(reg.formulaValue("fair"), 1.0);
+
+    reg.counter("cpu1.commits") += 4; // 4 vs 8
+    EXPECT_DOUBLE_EQ(reg.formulaValue("fair"),
+                     (12.0 * 12.0) / (2.0 * (16.0 + 64.0)));
+}
+
+TEST(JainFairness, AllZeroCountersArePerfectlyFair)
+{
+    // n matched counters all holding zero are equal shares of
+    // nothing: fairness 1.0, not the old divide-by-zero 0.0.
+    StatsRegistry reg;
+    reg.counter("cpu0.commits");
+    reg.counter("cpu1.commits");
+    reg.jainFairness("fair", "cpu*.commits");
+    EXPECT_DOUBLE_EQ(reg.formulaValue("fair"), 1.0);
+}
+
+TEST(JainFairness, NoMatchingCounterReadsZero)
+{
+    StatsRegistry reg;
+    reg.jainFairness("fair", "cpu*.commits");
+    EXPECT_DOUBLE_EQ(reg.formulaValue("fair"), 0.0);
+}
+
+TEST(Merge, CountersAddAndDistributionsFold)
+{
+    StatsRegistry a;
+    a.counter("c") += 3;
+    a.distribution("d").sample(1);
+    a.distribution("d").sample(100);
+
+    StatsRegistry b;
+    b.counter("c") += 4;
+    b.counter("only_b") += 7;
+    b.distribution("d").sample(50);
+    b.distribution("only_b_dist").sample(9);
+
+    a.mergeFrom(b);
+    EXPECT_EQ(a.value("c"), 7u);
+    EXPECT_EQ(a.value("only_b"), 7u);
+    const auto* d = a.findDistribution("d");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->count(), 3u);
+    EXPECT_EQ(d->min(), 1u);
+    EXPECT_EQ(d->max(), 100u);
+    ASSERT_NE(a.findDistribution("only_b_dist"), nullptr);
+    EXPECT_EQ(a.findDistribution("only_b_dist")->count(), 1u);
+}
+
+TEST(Merge, EmptySourceDistributionIsANoOp)
+{
+    StatsRegistry a;
+    a.distribution("d").sample(5);
+    StatsRegistry b;
+    b.distribution("d"); // registered, never sampled
+    a.mergeFrom(b);
+    EXPECT_EQ(a.findDistribution("d")->count(), 1u);
+    EXPECT_EQ(a.findDistribution("d")->min(), 5u);
+}
+
+TEST(Merge, FormulasRegisterWhereAbsent)
+{
+    StatsRegistry a;
+    StatsRegistry b;
+    b.counter("x.n") += 1;
+    b.counter("x.d") += 2;
+    b.formula("r", "x.n", "x.d");
+    a.mergeFrom(b);
+    EXPECT_DOUBLE_EQ(a.formulaValue("r"), 0.5);
+}
+
+TEST(Merge, OrderInvariantAggregation)
+{
+    // The campaign merges per-job registries in job order; the result
+    // must not depend on which jobs contributed which counters.
+    StatsRegistry parts[3];
+    parts[0].counter("c") += 1;
+    parts[1].counter("c") += 2;
+    parts[1].distribution("d").sample(10);
+    parts[2].distribution("d").sample(20);
+
+    StatsRegistry fwd;
+    for (const StatsRegistry& p : parts)
+        fwd.mergeFrom(p);
+    StatsRegistry rev;
+    for (int i = 2; i >= 0; --i)
+        rev.mergeFrom(parts[i]);
+
+    std::ostringstream a, b;
+    fwd.dumpJson(a);
+    rev.dumpJson(b);
+    EXPECT_EQ(a.str(), b.str());
+}

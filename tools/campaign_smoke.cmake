@@ -1,0 +1,44 @@
+# Campaign determinism smoke test (ctest: campaign_smoke).
+# Fuzzes the same seed range with --jobs 1 and --jobs 4 and requires
+# stdout and the merged stats registry to match byte for byte: the
+# parallel campaign must be observationally identical to sequential.
+
+set(outSeq "${WORK_DIR}/campaign_seq.out")
+set(outPar "${WORK_DIR}/campaign_par.out")
+set(statsSeq "${WORK_DIR}/campaign_seq.stats.json")
+set(statsPar "${WORK_DIR}/campaign_par.stats.json")
+
+execute_process(
+    COMMAND ${TMSIM_FUZZ} --seeds 120 --quiet --jobs 1
+            --out-dir ${WORK_DIR} --json-stats ${statsSeq}
+    OUTPUT_FILE ${outSeq}
+    RESULT_VARIABLE rcSeq)
+execute_process(
+    COMMAND ${TMSIM_FUZZ} --seeds 120 --quiet --jobs 4
+            --out-dir ${WORK_DIR} --json-stats ${statsPar}
+    OUTPUT_FILE ${outPar}
+    RESULT_VARIABLE rcPar)
+
+if(NOT rcSeq EQUAL 0)
+    message(FATAL_ERROR "tmsim_fuzz --jobs 1 failed (rc=${rcSeq})")
+endif()
+if(NOT rcPar EQUAL rcSeq)
+    message(FATAL_ERROR
+            "exit codes differ: jobs=1 rc=${rcSeq}, jobs=4 rc=${rcPar}")
+endif()
+
+file(READ ${outSeq} seqText)
+file(READ ${outPar} parText)
+if(NOT seqText STREQUAL parText)
+    message(FATAL_ERROR "stdout differs between --jobs 1 and --jobs 4")
+endif()
+
+file(READ ${statsSeq} seqStats)
+file(READ ${statsPar} parStats)
+if(NOT seqStats STREQUAL parStats)
+    message(FATAL_ERROR
+            "merged stats differ between --jobs 1 and --jobs 4")
+endif()
+if(NOT seqStats MATCHES "campaign.seeds")
+    message(FATAL_ERROR "merged stats missing campaign counters")
+endif()

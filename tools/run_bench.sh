@@ -47,6 +47,8 @@ cmake -B "${build_dir}" -S "${repo_root}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${build_dir}" -j "$(nproc)" --target "${targets[@]}"
 
+jobs="$(nproc)"
+
 for t in "${gbench[@]+"${gbench[@]}"}"; do
     out="${repo_root}/BENCH_${t}.json"
     echo "== ${t} -> ${out}"
@@ -55,11 +57,20 @@ for t in "${gbench[@]+"${gbench[@]}"}"; do
         --benchmark_out="${out}" \
         --benchmark_out_format=json \
         "${extra_args[@]+"${extra_args[@]}"}"
+    # The conflict-index bench also has a pool-driven end-to-end grid
+    # mode with deterministic simulated metrics.
+    if [ "$t" = abl_conflict_index ]; then
+        e2e="${repo_root}/BENCH_conflict_index_e2e.json"
+        echo "== ${t} (sweep mode) -> ${e2e}"
+        "${build_dir}/bench/${t}" --sweep-out "${e2e}" --jobs "${jobs}"
+    fi
 done
 
+# The design x policy grid fans out across host cores; row order (and
+# thus the JSON) is identical for any --jobs.
 for t in "${plain[@]+"${plain[@]}"}"; do
     out="${repo_root}/BENCH_${t#abl_}.json"
     echo "== ${t} -> ${out}"
-    "${build_dir}/bench/${t}" --out "${out}" \
+    "${build_dir}/bench/${t}" --out "${out}" --jobs "${jobs}" \
         "${extra_args[@]+"${extra_args[@]}"}"
 done

@@ -1,0 +1,35 @@
+# Sweep smoke test (ctest: sweep_smoke).
+# Runs a small kernel x config x cpu grid sequentially and through the
+# worker pool, and requires the two merged documents to be identical
+# byte for byte (the campaign determinism contract).
+
+set(seq "${WORK_DIR}/sweep_seq.json")
+set(par "${WORK_DIR}/sweep_par.json")
+
+foreach(mode "seq;1;${seq}" "par;4;${par}")
+    list(GET mode 1 jobs)
+    list(GET mode 2 out)
+    execute_process(
+        COMMAND ${TMSIM_SWEEP} --kernel contend --cpus 1,2,4
+                --configs lazy-wb,eager-undolog --quiet
+                --jobs ${jobs} --json-stats ${out}
+        RESULT_VARIABLE rc
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "tmsim_sweep --jobs ${jobs} failed (rc=${rc}):\n${err}")
+    endif()
+endforeach()
+
+file(READ ${seq} seqText)
+file(READ ${par} parText)
+if(NOT seqText STREQUAL parText)
+    message(FATAL_ERROR
+            "sweep documents differ between --jobs 1 and --jobs 4")
+endif()
+if(NOT seqText MATCHES "\"schema\": \"tmsim-sweep\"")
+    message(FATAL_ERROR "sweep JSON missing schema header")
+endif()
+if(NOT seqText MATCHES "\"all_verified\": true")
+    message(FATAL_ERROR "sweep reported a verification failure")
+endif()

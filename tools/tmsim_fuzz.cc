@@ -7,7 +7,15 @@
  * across configs. Failing seeds are shrunk and written as replay files
  * that this tool (and the ctest suite) can deterministically re-run.
  *
- *   tmsim_fuzz --seeds 1000
+ * Campaigns fan out across host worker threads with --jobs N: each
+ * seed is one isolated job (own machines, stats, interpreters) and the
+ * results merge in seed order, so verdicts, shrunk replays, merged
+ * stats and all output are bitwise-identical to a --jobs 1 run of the
+ * same seeds. Failing seeds are shrunk sequentially on the merging
+ * thread, keeping shrink determinism trivially independent of the
+ * worker count.
+ *
+ *   tmsim_fuzz --seeds 1000 --jobs 8
  *   tmsim_fuzz --replay tests/replays/foo.replay --expect-fail
  *   tmsim_fuzz --selftest-inject
  */
@@ -21,7 +29,10 @@
 
 #include "check/fuzz_driver.hh"
 #include "check/fuzz_program.hh"
+#include "sim/campaign.hh"
 #include "sim/logging.hh"
+#include "sim/parse.hh"
+#include "sim/stats.hh"
 
 using namespace tmsim;
 
@@ -34,6 +45,11 @@ usage()
         "usage: tmsim_fuzz [options]\n"
         "  --seeds N          fuzz N sequential seeds (default 200)\n"
         "  --seed-start S     first seed (default 1)\n"
+        "  --jobs N           host worker threads for the campaign "
+        "(default 1;\n"
+        "                     results are identical for any N)\n"
+        "  --json-stats FILE  write the campaign's merged stats "
+        "registry as JSON\n"
         "  --replay FILE      re-run one replay file instead of fuzzing\n"
         "  --expect-fail      with --replay: exit 0 iff the replay "
         "still fails\n"
@@ -145,8 +161,10 @@ main(int argc, char** argv)
     std::uint64_t seedStart = 1;
     std::string replayFile;
     std::string outDir = ".";
+    std::string jsonStatsFile;
     Tick maxTicks = FuzzInterp::defaultMaxTicks;
     int shrinkRuns = 400;
+    int jobs = 1;
     bool expectFail = false;
     bool selftest = false;
     bool quiet = false;
@@ -161,9 +179,15 @@ main(int argc, char** argv)
             return argv[++i];
         };
         if (arg == "--seeds") {
-            seeds = std::strtoull(next().c_str(), nullptr, 0);
+            seeds = parseU64(next(), "--seeds");
+            if (seeds == 0)
+                fatal("--seeds must be >= 1");
         } else if (arg == "--seed-start") {
-            seedStart = std::strtoull(next().c_str(), nullptr, 0);
+            seedStart = parseU64(next(), "--seed-start");
+        } else if (arg == "--jobs") {
+            jobs = parseInt(next(), "--jobs", 1, 1024);
+        } else if (arg == "--json-stats") {
+            jsonStatsFile = next();
         } else if (arg == "--replay") {
             replayFile = next();
         } else if (arg == "--expect-fail") {
@@ -171,9 +195,9 @@ main(int argc, char** argv)
         } else if (arg == "--out-dir") {
             outDir = next();
         } else if (arg == "--max-ticks") {
-            maxTicks = std::strtoull(next().c_str(), nullptr, 0);
+            maxTicks = parseU64(next(), "--max-ticks");
         } else if (arg == "--shrink-runs") {
-            shrinkRuns = std::atoi(next().c_str());
+            shrinkRuns = parseInt(next(), "--shrink-runs", 0);
         } else if (arg == "--contention") {
             const std::string name = next();
             if (!contentionPolicyFromName(name, policy))
@@ -225,35 +249,84 @@ main(int argc, char** argv)
         return 0;
     }
 
+    // The campaign: one job per seed, each with fully isolated
+    // machines/stats/interpreters, merged in seed order so every
+    // output below is invariant under --jobs.
+    struct SeedResult
+    {
+        FuzzFailure fail;
+        StatsRegistry stats;
+    };
+
     constexpr int maxReported = 5;
     int failures = 0;
-    for (std::uint64_t s = seedStart; s < seedStart + seeds; ++s) {
-        FuzzProgram p = generateProgram(s);
-        if (forcePolicy)
-            p.contention = policy;
-        const FuzzFailure fail = runProgramAllConfigs(p, maxTicks);
-        if (!fail.failed) {
-            if ((s - seedStart + 1) % 100 == 0) {
-                std::printf("... %llu/%llu seeds clean\n",
-                            static_cast<unsigned long long>(
-                                s - seedStart + 1),
-                            static_cast<unsigned long long>(seeds));
-                std::fflush(stdout);
+    StatsRegistry merged;
+
+    CampaignOptions opt;
+    opt.jobs = jobs;
+    opt.quiet = quiet;
+    const CampaignResult cres = runCampaign<SeedResult>(
+        static_cast<std::size_t>(seeds), opt,
+        [&](std::size_t i) {
+            FuzzProgram p = generateProgram(seedStart + i);
+            if (forcePolicy)
+                p.contention = policy;
+            SeedResult r;
+            r.fail = runProgramAllConfigs(p, maxTicks, &r.stats);
+            return r;
+        },
+        [&](std::size_t i, SeedResult&& r) {
+            merged.mergeFrom(r.stats);
+            if (!r.fail.failed) {
+                if ((i + 1) % 100 == 0) {
+                    std::printf("... %llu/%llu seeds clean\n",
+                                static_cast<unsigned long long>(i + 1),
+                                static_cast<unsigned long long>(seeds));
+                    std::fflush(stdout);
+                }
+                return true;
             }
-            continue;
-        }
-        ++failures;
-        const FuzzProgram shrunk = shrinkProgram(p, shrinkRuns, maxTicks);
-        // Shrinking re-checks every candidate, so the shrunk program
-        // still fails (possibly with a different first-failing config).
-        const FuzzFailure sf = runProgramAllConfigs(shrunk, maxTicks);
-        const std::string path = writeReplay(
-            outDir, shrunk, "seed_" + std::to_string(s));
-        reportFailure(shrunk, sf.failed ? sf : fail, path);
-        if (failures >= maxReported) {
-            std::printf("stopping after %d failures\n", failures);
-            break;
-        }
+            ++failures;
+            const std::uint64_t s = seedStart + i;
+            FuzzProgram p = generateProgram(s);
+            if (forcePolicy)
+                p.contention = policy;
+            // Shrink sequentially on the merging thread: deterministic
+            // regardless of how many workers ran the campaign.
+            const FuzzProgram shrunk =
+                shrinkProgram(p, shrinkRuns, maxTicks);
+            // Shrinking re-checks every candidate, so the shrunk
+            // program still fails (possibly with a different
+            // first-failing config).
+            const FuzzFailure sf = runProgramAllConfigs(shrunk, maxTicks);
+            const std::string path = writeReplay(
+                outDir, shrunk, "seed_" + std::to_string(s));
+            reportFailure(shrunk, sf.failed ? sf : r.fail, path);
+            if (failures >= maxReported) {
+                std::printf("stopping after %d failures\n", failures);
+                return false;
+            }
+            return true;
+        });
+
+    if (cres.failed) {
+        std::fprintf(stderr,
+                     "fatal: campaign cancelled at seed %llu: %s\n",
+                     static_cast<unsigned long long>(seedStart +
+                                                     cres.failedJob),
+                     cres.message.c_str());
+        return 1;
+    }
+
+    if (!jsonStatsFile.empty()) {
+        merged.counter("campaign.seeds").set(cres.merged);
+        merged.counter("campaign.seeds_failing")
+            .set(static_cast<std::uint64_t>(failures));
+        merged.counter("campaign.configs_per_seed").set(4);
+        std::ofstream os(jsonStatsFile);
+        if (!os)
+            fatal("cannot open stats file '%s'", jsonStatsFile.c_str());
+        merged.dumpJson(os);
     }
 
     if (failures == 0) {

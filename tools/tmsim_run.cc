@@ -18,74 +18,13 @@
 #include <string>
 
 #include "sim/logging.hh"
+#include "sim/parse.hh"
 #include "sim/trace.hh"
-#include "workloads/kernel_condsync.hh"
-#include "workloads/kernel_contention.hh"
-#include "workloads/kernel_fuzz.hh"
-#include "workloads/kernel_iobench.hh"
-#include "workloads/kernel_mp3d.hh"
-#include "workloads/kernel_specjbb.hh"
-#include "workloads/kernels_scientific.hh"
+#include "workloads/harness.hh"
 
 using namespace tmsim;
 
 namespace {
-
-const char* const kernelNames[] = {
-    "barnes",         "fmm",           "moldyn",
-    "mp3d",           "mp3d-open",     "swim",
-    "tomcatv",        "water",         "specjbb-flat",
-    "specjbb-closed", "specjbb-open",  "specjbb-hybrid", "iobench-tx",
-    "iobench-serialized", "condsync-sched", "condsync-poll",
-    "contend",        "fuzz",
-};
-
-std::unique_ptr<Kernel>
-makeKernel(const std::string& name, std::uint64_t fuzz_seed)
-{
-    if (name == "barnes")
-        return std::make_unique<SciKernel>(sciBarnes());
-    if (name == "fmm")
-        return std::make_unique<SciKernel>(sciFmm());
-    if (name == "moldyn")
-        return std::make_unique<SciKernel>(sciMoldyn());
-    if (name == "mp3d")
-        return std::make_unique<Mp3dKernel>();
-    if (name == "mp3d-open") {
-        Mp3dParams p;
-        p.openReductions = true;
-        return std::make_unique<Mp3dKernel>(p);
-    }
-    if (name == "swim")
-        return std::make_unique<SciKernel>(sciSwim());
-    if (name == "tomcatv")
-        return std::make_unique<SciKernel>(sciTomcatv());
-    if (name == "water")
-        return std::make_unique<SciKernel>(sciWater());
-    if (name == "specjbb-flat")
-        return std::make_unique<SpecJbbKernel>(JbbVariant::Flat);
-    if (name == "specjbb-closed")
-        return std::make_unique<SpecJbbKernel>(JbbVariant::ClosedNested);
-    if (name == "specjbb-open")
-        return std::make_unique<SpecJbbKernel>(JbbVariant::OpenNested);
-    if (name == "specjbb-hybrid")
-        return std::make_unique<SpecJbbKernel>(JbbVariant::Hybrid);
-    if (name == "iobench-tx" || name == "iobench-serialized") {
-        IoBenchParams p;
-        p.transactional = name == "iobench-tx";
-        return std::make_unique<IoBenchKernel>(p);
-    }
-    if (name == "condsync-sched" || name == "condsync-poll") {
-        CondSyncParams p;
-        p.useScheduler = name == "condsync-sched";
-        return std::make_unique<CondSyncKernel>(p);
-    }
-    if (name == "contend")
-        return std::make_unique<ContentionKernel>();
-    if (name == "fuzz")
-        return std::make_unique<FuzzKernel>(fuzz_seed);
-    return nullptr;
-}
 
 void
 usage()
@@ -139,7 +78,7 @@ main(int argc, char** argv)
         if (arg == "--kernel") {
             kernelName = next();
         } else if (arg == "--cpus") {
-            cpus = std::atoi(next().c_str());
+            cpus = parseInt(next(), "--cpus", 1, 64);
         } else if (arg == "--version") {
             std::string v = next();
             htm.version = v == "undolog" ? VersionMode::UndoLog
@@ -157,9 +96,7 @@ main(int argc, char** argv)
             if (!contentionPolicyFromName(name, htm.contention))
                 fatal("unknown contention policy '%s'", name.c_str());
         } else if (arg == "--starvation-k") {
-            htm.starvationThreshold = std::atoi(next().c_str());
-            if (htm.starvationThreshold < 1)
-                fatal("--starvation-k must be >= 1");
+            htm.starvationThreshold = parseInt(next(), "--starvation-k", 1);
         } else if (arg == "--nesting") {
             htm.nesting = next() == "flatten" ? NestingMode::Flatten
                                               : NestingMode::Full;
@@ -173,7 +110,7 @@ main(int argc, char** argv)
         } else if (arg == "--no-backoff") {
             htm.retryBackoff = false;
         } else if (arg == "--fuzz-seed") {
-            fuzzSeed = std::strtoull(next().c_str(), nullptr, 0);
+            fuzzSeed = parseU64(next(), "--fuzz-seed");
         } else if (arg == "--stats") {
             dumpStats = true;
         } else if (arg == "--trace") {
@@ -183,8 +120,8 @@ main(int argc, char** argv)
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list") {
-            for (const char* n : kernelNames)
-                std::printf("%s\n", n);
+            for (const std::string& n : namedKernels())
+                std::printf("%s\n", n.c_str());
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage();
@@ -200,11 +137,9 @@ main(int argc, char** argv)
         usage();
         return 2;
     }
-    auto kernel = makeKernel(kernelName, fuzzSeed);
+    auto kernel = makeNamedKernel(kernelName, fuzzSeed);
     if (!kernel)
         fatal("unknown kernel '%s' (try --list)", kernelName.c_str());
-    if (cpus < 1 || cpus > 64)
-        fatal("--cpus must be in [1, 64]");
 
     setQuiet(quiet);
 

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * tmsim_sweep — batch sweep driver: runs one kernel across a grid of
+ * HTM design points x CPU counts, fanning the (fully isolated,
+ * deterministic) simulations across host worker threads, and emits a
+ * single merged JSON document with a per-cell summary and each cell's
+ * full stats registry. Cell order in the document is grid order
+ * (config-major, then CPU count) regardless of --jobs, so the merged
+ * document is bitwise-identical for any worker count.
+ *
+ *   tmsim_sweep --kernel mp3d --cpus 1,2,4,8 --jobs 8 \
+ *               --json-stats mp3d.sweep.json
+ *   tmsim_sweep --kernel contend --configs lazy-wb,eager-undolog
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hh"
+#include "sim/logging.hh"
+#include "sim/parse.hh"
+#include "workloads/harness.hh"
+
+using namespace tmsim;
+
+namespace {
+
+/** Bumped whenever the merged sweep document changes shape. */
+constexpr int sweepSchemaVersion = 1;
+
+struct SweepConfig
+{
+    const char* name;
+    VersionMode version;
+    ConflictMode conflict;
+    NestingMode nesting;
+};
+
+/** The four design points the paper contrasts (same naming as the
+ *  differential fuzzer's configs). */
+const SweepConfig sweepConfigs[] = {
+    {"lazy-wb", VersionMode::WriteBuffer, ConflictMode::Lazy,
+     NestingMode::Full},
+    {"eager-wb", VersionMode::WriteBuffer, ConflictMode::Eager,
+     NestingMode::Full},
+    {"eager-undolog", VersionMode::UndoLog, ConflictMode::Eager,
+     NestingMode::Full},
+    {"lazy-wb-flatten", VersionMode::WriteBuffer, ConflictMode::Lazy,
+     NestingMode::Flatten},
+};
+
+const SweepConfig*
+findConfig(const std::string& name)
+{
+    for (const SweepConfig& c : sweepConfigs)
+        if (name == c.name)
+            return &c;
+    return nullptr;
+}
+
+std::vector<std::string>
+splitList(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: tmsim_sweep --kernel NAME [options]\n"
+        "  --kernel NAME      workload (tmsim_run --list)\n"
+        "  --cpus LIST        comma-separated CPU counts "
+        "(default 1,2,4,8)\n"
+        "  --configs LIST     design points: lazy-wb,eager-wb,"
+        "eager-undolog,\n"
+        "                     lazy-wb-flatten (default: all four)\n"
+        "  --jobs N           host worker threads (default 1; the "
+        "merged\n"
+        "                     document is identical for any N)\n"
+        "  --json-stats FILE  write the merged sweep document "
+        "(default stdout)\n"
+        "  --fuzz-seed N      seed for the 'fuzz' kernel (default 1)\n"
+        "  --quiet            suppress simulator log output\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string kernelName;
+    std::string jsonStatsFile;
+    std::string cpusList = "1,2,4,8";
+    std::string configsList;
+    std::uint64_t fuzzSeed = 1;
+    int jobs = 1;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--kernel") {
+            kernelName = next();
+        } else if (arg == "--cpus") {
+            cpusList = next();
+        } else if (arg == "--configs") {
+            configsList = next();
+        } else if (arg == "--jobs") {
+            jobs = parseInt(next(), "--jobs", 1, 1024);
+        } else if (arg == "--json-stats") {
+            jsonStatsFile = next();
+        } else if (arg == "--fuzz-seed") {
+            fuzzSeed = parseU64(next(), "--fuzz-seed");
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (kernelName.empty()) {
+        usage();
+        return 2;
+    }
+    if (!makeNamedKernel(kernelName, fuzzSeed))
+        fatal("unknown kernel '%s' (try tmsim_run --list)",
+              kernelName.c_str());
+
+    std::vector<int> cpuCounts;
+    for (const std::string& tok : splitList(cpusList))
+        cpuCounts.push_back(parseInt(tok, "--cpus", 1, 64));
+
+    std::vector<const SweepConfig*> configs;
+    if (configsList.empty()) {
+        for (const SweepConfig& c : sweepConfigs)
+            configs.push_back(&c);
+    } else {
+        for (const std::string& tok : splitList(configsList)) {
+            const SweepConfig* c = findConfig(tok);
+            if (!c)
+                fatal("unknown config '%s' (lazy-wb|eager-wb|"
+                      "eager-undolog|lazy-wb-flatten)",
+                      tok.c_str());
+            configs.push_back(c);
+        }
+    }
+
+    setQuiet(quiet);
+
+    // Grid cells in config-major order; job index == cell index.
+    struct Cell
+    {
+        const SweepConfig* cfg;
+        int cpus;
+    };
+    std::vector<Cell> grid;
+    for (const SweepConfig* c : configs)
+        for (int n : cpuCounts)
+            grid.push_back(Cell{c, n});
+
+    struct CellResult
+    {
+        RunResult r;
+        std::string statsJson;
+    };
+
+    std::ostringstream doc;
+    doc << "{\n";
+    doc << "  \"schema\": \"tmsim-sweep\",\n";
+    doc << "  \"schema_version\": " << sweepSchemaVersion << ",\n";
+    doc << "  \"kernel\": \"" << kernelName << "\",\n";
+    doc << "  \"runs\": [\n";
+
+    bool allVerified = true;
+    CampaignOptions opt;
+    opt.jobs = jobs;
+    opt.quiet = quiet;
+    const CampaignResult cres = runCampaign<CellResult>(
+        grid.size(), opt,
+        [&](std::size_t i) {
+            const Cell& cell = grid[i];
+            HtmConfig htm;
+            htm.version = cell.cfg->version;
+            htm.conflict = cell.cfg->conflict;
+            htm.nesting = cell.cfg->nesting;
+            auto kernel = makeNamedKernel(kernelName, fuzzSeed);
+            CellResult res;
+            StatsRegistry stats;
+            res.r = runKernel(*kernel, htm, cell.cpus,
+                              64ull * 1024 * 1024, &stats);
+            std::ostringstream ss;
+            stats.dumpJson(ss);
+            res.statsJson = ss.str();
+            return res;
+        },
+        [&](std::size_t i, CellResult&& res) {
+            const Cell& cell = grid[i];
+            std::fprintf(stderr,
+                         "%-16s cpus %-3d %10llu cycles  %8llu commits  "
+                         "%s\n",
+                         cell.cfg->name, cell.cpus,
+                         static_cast<unsigned long long>(res.r.cycles),
+                         static_cast<unsigned long long>(res.r.commits),
+                         res.r.verified ? "ok" : "VERIFY-FAIL");
+            allVerified = allVerified && res.r.verified;
+            // Indent the embedded registry dump to the cell's depth so
+            // the merged document stays readable.
+            std::istringstream stats(res.statsJson);
+            std::ostringstream indented;
+            std::string line;
+            bool first = true;
+            while (std::getline(stats, line)) {
+                indented << (first ? "" : "\n      ") << line;
+                first = false;
+            }
+            doc << "    {\n"
+                << "      \"config\": \"" << cell.cfg->name << "\",\n"
+                << "      \"cpus\": " << cell.cpus << ",\n"
+                << "      \"cycles\": " << res.r.cycles << ",\n"
+                << "      \"instructions\": " << res.r.instructions
+                << ",\n"
+                << "      \"commits\": " << res.r.commits << ",\n"
+                << "      \"rollbacks\": " << res.r.rollbacks << ",\n"
+                << "      \"verified\": "
+                << (res.r.verified ? "true" : "false") << ",\n"
+                << "      \"stats\": " << indented.str() << "\n"
+                << "    }" << (i + 1 < grid.size() ? "," : "") << "\n";
+            return true;
+        });
+
+    if (cres.failed) {
+        std::fprintf(stderr, "fatal: sweep cancelled at cell %zu: %s\n",
+                     cres.failedJob, cres.message.c_str());
+        return 1;
+    }
+
+    doc << "  ],\n";
+    doc << "  \"all_verified\": " << (allVerified ? "true" : "false")
+        << "\n";
+    doc << "}\n";
+
+    if (jsonStatsFile.empty()) {
+        std::cout << doc.str();
+    } else {
+        std::ofstream os(jsonStatsFile);
+        if (!os)
+            fatal("cannot open stats file '%s'", jsonStatsFile.c_str());
+        os << doc.str();
+        std::fprintf(stderr, "wrote %s (%zu cells)\n",
+                     jsonStatsFile.c_str(), grid.size());
+    }
+    return allVerified ? 0 : 1;
+}
