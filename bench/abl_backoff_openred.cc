@@ -49,7 +49,7 @@ measure(bool backoff, bool open_reductions)
 int
 main()
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     std::printf("# Ablation: mp3d nesting gain over flattening, 8 CPUs\n");
     std::printf("%-12s %-12s %10s %10s %6s\n", "backoff", "reductions",
                 "gain", "n/seq", "ok");

@@ -60,7 +60,7 @@ row(const char* name, const KernelFactory& make)
 int
 main()
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     std::printf("# Ablation: conflict detection / versioning design "
                 "points at 8 CPUs\n");
     std::printf("# cycles (relative speed vs lazy/wb, higher = faster; rollbacks)\n");

@@ -100,7 +100,7 @@ makeRig(int cpus, HtmConfig htm, int privLines)
 void
 BM_LazyBroadcast(benchmark::State& state)
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     const int cpus = static_cast<int>(state.range(0));
     const int wset = static_cast<int>(state.range(1));
     Rig r = makeRig(cpus, HtmConfig::paperLazy(), 64);
@@ -129,7 +129,7 @@ BM_LazyBroadcast(benchmark::State& state)
 void
 BM_EagerCheck(benchmark::State& state)
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     const int cpus = static_cast<int>(state.range(0));
     const int wset = static_cast<int>(state.range(1));
     Rig r = makeRig(cpus, HtmConfig::eagerUndoLog(), 64);
@@ -158,7 +158,7 @@ BM_EagerCheck(benchmark::State& state)
 void
 BM_NonTxStoreScan(benchmark::State& state)
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     const int cpus = static_cast<int>(state.range(0));
     Rig r = makeRig(cpus, HtmConfig::paperLazy(), 64);
     ConflictDetector& det = r.m->memSystem().detector();
@@ -222,7 +222,7 @@ runE2e(int cpus, const HtmConfig& htm)
 void
 BM_TxThroughputE2E(benchmark::State& state)
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     const int cpus = static_cast<int>(state.range(0));
     for (auto _ : state) {
         E2eResult r = runE2e(cpus, HtmConfig::paperLazy());
@@ -240,7 +240,7 @@ BM_TxThroughputE2E(benchmark::State& state)
 int
 runSweep(const std::string& out_file, int jobs)
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
 
     struct Design
     {

@@ -84,7 +84,7 @@ main(int argc, char** argv)
         }
     }
 
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     std::printf("# Ablation: contention policies on the 'contend' "
                 "kernel, %d CPUs\n",
                 cpus);

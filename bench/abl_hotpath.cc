@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Host-side hot-path ablation (google-benchmark): isolates the three
+ * layers the seeds/second overhaul targets and measures each in ops
+ * per host-second, plus the end-to-end headline number itself.
+ *
+ *  - Event queue: schedule/dispatch throughput of the calendar queue,
+ *    with and without far-future events spilling to the overflow heap.
+ *  - Transactional sets: FlatAddrSet / FlatAddrMap insert, lookup and
+ *    clear at sizes spanning the inline buffer, the linear-scan range
+ *    and the indexed range, against the std::unordered_{set,map} they
+ *    replaced.
+ *  - End to end: differential fuzz seeds per second (the tmsim_fuzz
+ *    inner loop: generate a program, run it under all four design
+ *    points, oracle-check every run).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "check/fuzz_driver.hh"
+#include "check/fuzz_program.hh"
+#include "htm/small_set.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+using namespace tmsim;
+
+namespace {
+
+/** Self-rescheduling event source: each firing schedules the next one
+ *  1..8 ticks out (all ring traffic), optionally detouring every
+ *  eighth event through the far-future overflow heap. */
+struct Ticker
+{
+    EventQueue* eq;
+    std::uint64_t remaining;
+    bool farFuture;
+
+    void
+    fire()
+    {
+        if (remaining == 0)
+            return;
+        --remaining;
+        Cycles delta = 1 + static_cast<Cycles>(remaining & 7);
+        if (farFuture && (remaining & 7) == 0)
+            delta += 300; // past the 64-tick ring window
+        eq->schedule(delta, [this] { fire(); });
+    }
+};
+
+void
+eventQueueChurn(benchmark::State& state, bool far_future)
+{
+    constexpr int tickers = 16;
+    constexpr std::uint64_t perTicker = 1000;
+    std::uint64_t executed = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        Ticker ts[tickers];
+        for (int i = 0; i < tickers; ++i) {
+            ts[i] = Ticker{&eq, perTicker, far_future};
+            Ticker* t = &ts[i];
+            eq.schedule(static_cast<Cycles>(i), [t] { t->fire(); });
+        }
+        eq.run();
+        executed += eq.executed();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+}
+
+void
+BM_EventQueueRing(benchmark::State& state)
+{
+    eventQueueChurn(state, false);
+}
+
+void
+BM_EventQueueOverflow(benchmark::State& state)
+{
+    eventQueueChurn(state, true);
+}
+
+/** Addresses spread over distinct lines, hashed order-insensitive. */
+Addr
+addrAt(size_t i)
+{
+    return static_cast<Addr>(i) * 64 + 0x10000;
+}
+
+void
+BM_FlatSetInsertClear(benchmark::State& state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    FlatAddrSet<8> s;
+    for (auto _ : state) {
+        s.clear();
+        for (size_t i = 0; i < n; ++i)
+            s.insert(addrAt(i));
+        benchmark::DoNotOptimize(s.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+
+void
+BM_StdSetInsertClear(benchmark::State& state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    std::unordered_set<Addr> s;
+    for (auto _ : state) {
+        s.clear();
+        for (size_t i = 0; i < n; ++i)
+            s.insert(addrAt(i));
+        benchmark::DoNotOptimize(s.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+
+void
+BM_FlatSetLookup(benchmark::State& state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    FlatAddrSet<8> s;
+    for (size_t i = 0; i < n; ++i)
+        s.insert(addrAt(i));
+    size_t hits = 0;
+    for (auto _ : state) {
+        // Half hits, half misses: probe 2n addresses of which the
+        // even-indexed ones are present.
+        for (size_t i = 0; i < n; ++i) {
+            hits += s.contains(addrAt(i));
+            hits += s.contains(addrAt(i) + 4);
+        }
+    }
+    benchmark::DoNotOptimize(hits);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(2 * n));
+}
+
+void
+BM_StdSetLookup(benchmark::State& state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    std::unordered_set<Addr> s;
+    for (size_t i = 0; i < n; ++i)
+        s.insert(addrAt(i));
+    size_t hits = 0;
+    for (auto _ : state) {
+        for (size_t i = 0; i < n; ++i) {
+            hits += s.count(addrAt(i));
+            hits += s.count(addrAt(i) + 4);
+        }
+    }
+    benchmark::DoNotOptimize(hits);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(2 * n));
+}
+
+void
+BM_FlatMapUpsertFind(benchmark::State& state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    FlatAddrMap<Word> m;
+    Word sum = 0;
+    for (auto _ : state) {
+        m.clear();
+        for (size_t i = 0; i < n; ++i)
+            m[addrAt(i)] = static_cast<Word>(i);
+        for (size_t i = 0; i < n; ++i)
+            if (const Word* v = m.find(addrAt(i)))
+                sum += *v;
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(2 * n));
+}
+
+void
+BM_StdMapUpsertFind(benchmark::State& state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    std::unordered_map<Addr, Word> m;
+    Word sum = 0;
+    for (auto _ : state) {
+        m.clear();
+        for (size_t i = 0; i < n; ++i)
+            m[addrAt(i)] = static_cast<Word>(i);
+        for (size_t i = 0; i < n; ++i) {
+            auto it = m.find(addrAt(i));
+            if (it != m.end())
+                sum += it->second;
+        }
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(2 * n));
+}
+
+/** The tmsim_fuzz inner loop: items/sec here IS seeds per second. */
+void
+BM_FuzzSeedsPerSec(benchmark::State& state)
+{
+    defaultLogContext().quiet = true;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        const FuzzProgram program = generateProgram(seed++);
+        FuzzFailure fail = runProgramAllConfigs(program);
+        benchmark::DoNotOptimize(fail.failed);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK(BM_EventQueueRing);
+BENCHMARK(BM_EventQueueOverflow);
+BENCHMARK(BM_FlatSetInsertClear)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_StdSetInsertClear)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_FlatSetLookup)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_StdSetLookup)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_FlatMapUpsertFind)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_StdMapUpsertFind)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_FuzzSeedsPerSec)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

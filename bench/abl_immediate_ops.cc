@@ -82,7 +82,7 @@ run(bool private_in_sets, int n_threads)
 int
 main()
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     std::printf("# Ablation: immediate operations (imld/imst) for "
                 "thread-private runtime state\n");
     std::printf("%6s %18s %18s %10s %22s\n", "cpus", "imld/imst(cyc)",

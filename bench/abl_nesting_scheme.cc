@@ -58,7 +58,7 @@ row(const char* name, const KernelFactory& make)
 int
 main()
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     std::printf("# Ablation: nesting cache scheme x merge policy, "
                 "8 CPUs, cycles (relative speed vs assoc+lazy, higher = faster)\n");
     std::printf("%-14s %18s %18s %18s %18s\n", "benchmark", "assoc+lazy",

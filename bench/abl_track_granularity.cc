@@ -73,7 +73,7 @@ run(TrackGranularity gran, int threads, bool false_sharing)
 int
 main()
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     std::printf("# Ablation: conflict-tracking granularity "
                 "(per-thread counters, 40 RMWs each)\n");
     std::printf("%6s %10s %22s %22s %10s\n", "cpus", "layout",

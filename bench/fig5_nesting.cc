@@ -37,7 +37,7 @@ struct Row
 int
 main(int argc, char** argv)
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     const int threads = argc > 1 ? std::atoi(argv[1]) : 8;
 
     std::vector<Row> rows = {

@@ -31,7 +31,7 @@ config(int cpus, HtmConfig htm = HtmConfig::paperLazy())
 void
 BM_PlainLoadStore(benchmark::State& state)
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     for (auto _ : state) {
         Machine m(config(1));
         Addr a = m.memory().allocate(4096);
@@ -49,7 +49,7 @@ BM_PlainLoadStore(benchmark::State& state)
 void
 BM_TransactionCommit(benchmark::State& state)
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     for (auto _ : state) {
         Machine m(config(1));
         TxThread t0(m.cpu(0));
@@ -70,7 +70,7 @@ BM_TransactionCommit(benchmark::State& state)
 void
 BM_NestedTransaction(benchmark::State& state)
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     for (auto _ : state) {
         Machine m(config(1));
         TxThread t0(m.cpu(0));
@@ -93,7 +93,7 @@ BM_NestedTransaction(benchmark::State& state)
 void
 BM_ContendedCounter8(benchmark::State& state)
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     for (auto _ : state) {
         Machine m(config(8));
         std::vector<std::unique_ptr<TxThread>> threads;
@@ -120,7 +120,7 @@ BM_ContendedCounter8(benchmark::State& state)
 void
 BM_ContendedCounter16(benchmark::State& state)
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     for (auto _ : state) {
         Machine m(config(16));
         std::vector<std::unique_ptr<TxThread>> threads;
@@ -147,7 +147,7 @@ BM_ContendedCounter16(benchmark::State& state)
 void
 BM_EagerContendedCounter8(benchmark::State& state)
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     for (auto _ : state) {
         Machine m(config(8, HtmConfig::eagerUndoLog()));
         std::vector<std::unique_ptr<TxThread>> threads;
@@ -174,7 +174,7 @@ BM_EagerContendedCounter8(benchmark::State& state)
 void
 BM_MachineConstruction(benchmark::State& state)
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     for (auto _ : state) {
         Machine m(config(static_cast<int>(state.range(0))));
         benchmark::DoNotOptimize(&m);

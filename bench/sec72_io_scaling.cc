@@ -48,7 +48,7 @@ run(bool transactional, int threads)
 int
 main()
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     const int counts[] = {1, 2, 4, 8, 16};
 
     std::printf("# Section 7.2: transactional I/O microbenchmark\n");

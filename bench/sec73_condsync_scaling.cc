@@ -45,7 +45,7 @@ run(bool use_scheduler, int cpus)
 int
 main()
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
     // cpus = 1 scheduler + 2*pairs workers.
     const int counts[] = {3, 5, 9, 13};
 

@@ -142,7 +142,7 @@ measureRegistration()
 int
 main()
 {
-    setQuiet(true);
+    defaultLogContext().quiet = true;
 
     Measurement begin = measureBeginAndCommit(true);
     Measurement commit = measureBeginAndCommit(false);

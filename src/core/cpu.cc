@@ -179,16 +179,6 @@ Cpu::exec(std::uint64_t n)
         co_await deliverViolations();
 }
 
-SimTask
-Cpu::timedAccess(Addr line)
-{
-    MemSystem::Lookup lk = memSys.lookup(cpuId, line);
-    if (lk.latency)
-        co_await Delay{eq, lk.latency};
-    if (lk.needsBus)
-        co_await memSys.busFill(cpuId, line);
-}
-
 WordTask
 Cpu::load(Addr addr)
 {
@@ -198,7 +188,16 @@ Cpu::load(Addr addr)
     retire(1);
     ++statLoads;
     const Addr unit = ctx.trackUnit(addr);
-    co_await timedAccess(ctx.lineOf(addr));
+    {
+        // Inlined timed access: doing the lookup here instead of in a
+        // child coroutine saves a frame allocation per memory access.
+        const Addr lineA = ctx.lineOf(addr);
+        MemSystem::Lookup lk = memSys.lookup(cpuId, lineA);
+        if (lk.latency)
+            co_await Delay{eq, lk.latency};
+        if (lk.needsBus)
+            co_await memSys.busFill(cpuId, lineA);
+    }
     // A validated transaction pins its write-set until xcommit; late
     // readers stall rather than observe soon-to-be-replaced data.
     while (det.lockedByOther(ctx, unit))
@@ -248,7 +247,16 @@ Cpu::store(Addr addr, Word value)
     retire(1);
     ++statStores;
     const Addr unit = ctx.trackUnit(addr);
-    co_await timedAccess(ctx.lineOf(addr));
+    {
+        // Inlined timed access: doing the lookup here instead of in a
+        // child coroutine saves a frame allocation per memory access.
+        const Addr lineA = ctx.lineOf(addr);
+        MemSystem::Lookup lk = memSys.lookup(cpuId, lineA);
+        if (lk.latency)
+            co_await Delay{eq, lk.latency};
+        if (lk.needsBus)
+            co_await memSys.busFill(cpuId, lineA);
+    }
     while (det.lockedByOther(ctx, unit))
         co_await det.waitUnlocked(ctx, unit);
     if (ctx.deliverable())
@@ -547,7 +555,16 @@ Cpu::imld(Addr addr)
     if (ctx.deliverable())
         co_await deliverViolations();
     retire(1);
-    co_await timedAccess(ctx.lineOf(addr));
+    {
+        // Inlined timed access: doing the lookup here instead of in a
+        // child coroutine saves a frame allocation per memory access.
+        const Addr lineA = ctx.lineOf(addr);
+        MemSystem::Lookup lk = memSys.lookup(cpuId, lineA);
+        if (lk.latency)
+            co_await Delay{eq, lk.latency};
+        if (lk.needsBus)
+            co_await memSys.busFill(cpuId, lineA);
+    }
     co_return ctx.immRead(addr);
 }
 
@@ -558,7 +575,16 @@ Cpu::imst(Addr addr, Word value)
     if (ctx.deliverable())
         co_await deliverViolations();
     retire(1);
-    co_await timedAccess(ctx.lineOf(addr));
+    {
+        // Inlined timed access: doing the lookup here instead of in a
+        // child coroutine saves a frame allocation per memory access.
+        const Addr lineA = ctx.lineOf(addr);
+        MemSystem::Lookup lk = memSys.lookup(cpuId, lineA);
+        if (lk.latency)
+            co_await Delay{eq, lk.latency};
+        if (lk.needsBus)
+            co_await memSys.busFill(cpuId, lineA);
+    }
     ctx.immWrite(addr, value);
 }
 
@@ -569,7 +595,16 @@ Cpu::imstid(Addr addr, Word value)
     if (ctx.deliverable())
         co_await deliverViolations();
     retire(1);
-    co_await timedAccess(ctx.lineOf(addr));
+    {
+        // Inlined timed access: doing the lookup here instead of in a
+        // child coroutine saves a frame allocation per memory access.
+        const Addr lineA = ctx.lineOf(addr);
+        MemSystem::Lookup lk = memSys.lookup(cpuId, lineA);
+        if (lk.latency)
+            co_await Delay{eq, lk.latency};
+        if (lk.needsBus)
+            co_await memSys.busFill(cpuId, lineA);
+    }
     ctx.immWriteIdempotent(addr, value);
 }
 

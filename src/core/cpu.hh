@@ -159,9 +159,6 @@ class Cpu
     /** Account a pending rollback-to-restart interval at xbegin. */
     void consumeRestart();
 
-    /** Pay the timed path through the private hierarchy and bus. */
-    SimTask timedAccess(Addr line);
-
     void
     retire(std::uint64_t n)
     {

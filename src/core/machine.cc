@@ -4,10 +4,12 @@
 
 namespace tmsim {
 
-Machine::Machine(const MachineConfig& cfg_) : cfg(cfg_), tracerObj(eq)
+Machine::Machine(const MachineConfig& cfg_)
+    : cfg(cfg_), tracerObj(eq), statSimTicks(statsReg.counter("sim.ticks"))
 {
     if (cfg.numCpus < 1)
         fatal("Machine needs at least one CPU");
+    threads.reserve(static_cast<size_t>(cfg.numCpus));
     tracerObj.setNumCpus(cfg.numCpus);
     memSys = std::make_unique<MemSystem>(eq, cfg.bus, cfg.memBytes,
                                          statsReg);
@@ -68,7 +70,7 @@ Machine::run(Tick max_ticks)
     }
 
     Tick end = eq.run(max_ticks);
-    statsReg.counter("sim.ticks").set(end);
+    statSimTicks.set(end);
 
     for (auto& slot : threads) {
         if (slot.task.done())

@@ -119,6 +119,10 @@ class Machine
     std::unique_ptr<MemSystem> memSys;
     std::vector<std::unique_ptr<Cpu>> cpus;
     std::vector<ThreadSlot> threads;
+
+    /** Cached "sim.ticks" counter (resolved once; run() is hot in
+     *  campaign sweeps that construct and run many machines). */
+    StatsRegistry::Counter& statSimTicks;
 };
 
 } // namespace tmsim

@@ -1,6 +1,7 @@
 #include "htm/htm_context.hh"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "htm/contention.hh"
 #include "sim/logging.hh"
@@ -106,9 +107,8 @@ HtmContext::readVisible(Addr word_addr) const
 {
     if (cfg.version == VersionMode::WriteBuffer) {
         for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
-            auto hit = it->writeBuffer.find(word_addr);
-            if (hit != it->writeBuffer.end())
-                return hit->second;
+            if (const Word* hit = it->writeBuffer.find(word_addr))
+                return *hit;
         }
     }
     return mem.read(word_addr);
@@ -121,7 +121,7 @@ HtmContext::specRead(Addr addr)
         panic("specRead outside a transaction");
     Word value = readVisible(addr);
     Addr unit = trackUnit(addr);
-    if (top().readLines.insert(unit).second)
+    if (top().readLines.insert(unit))
         noteReadInsert(unit);
     Addr line = lineOf(addr);
     if (l1)
@@ -141,15 +141,17 @@ HtmContext::specWrite(Addr addr, Word value)
     } else {
         pushUndo(addr);
         mem.write(addr, value);
-        if (top().writtenWords.insert(addr).second) {
+        if (top().writtenWords.insert(addr)) {
             // Cover the in-place word in the write signature so
             // wroteWordInPlace() gets the same fast-negative filter.
             writeSig.add(sigEpoch, addr);
         }
     }
     Addr unit = trackUnit(addr);
-    if (top().writeLines.insert(unit).second)
+    if (top().writeLines.insert(unit)) {
+        top().wlShadowValid = false;
         noteWriteInsert(unit);
+    }
     Addr line = lineOf(addr);
     if (l1)
         l1->markWrite(line, depth());
@@ -222,13 +224,13 @@ HtmContext::noteWriteInsert(Addr unit)
 void
 HtmContext::noteReadErase(Addr unit)
 {
-    auto it = aggReaders.find(unit);
-    if (it == aggReaders.end())
+    std::uint32_t* m = aggReaders.find(unit);
+    if (!m)
         panic("read-aggregate missing unit 0x%llx",
               static_cast<unsigned long long>(unit));
-    it->second &= ~(1u << (depth() - 1));
-    if (it->second == 0)
-        aggReaders.erase(it);
+    *m &= ~(1u << (depth() - 1));
+    if (*m == 0)
+        aggReaders.erase(unit);
     // The signature keeps the stale bit (false positives only).
     notifySharer(unit);
 }
@@ -239,17 +241,17 @@ HtmContext::dropLevelFromAggregates(int lvl)
     const TxLevel& t = levels[static_cast<size_t>(lvl - 1)];
     const std::uint32_t bit = 1u << (lvl - 1);
     for (Addr unit : t.readLines) {
-        auto it = aggReaders.find(unit);
-        it->second &= ~bit;
-        if (it->second == 0)
-            aggReaders.erase(it);
+        std::uint32_t* m = aggReaders.find(unit);
+        *m &= ~bit;
+        if (*m == 0)
+            aggReaders.erase(unit);
         notifySharer(unit);
     }
     for (Addr unit : t.writeLines) {
-        auto it = aggWriters.find(unit);
-        it->second &= ~bit;
-        if (it->second == 0)
-            aggWriters.erase(it);
+        std::uint32_t* m = aggWriters.find(unit);
+        *m &= ~bit;
+        if (*m == 0)
+            aggWriters.erase(unit);
         notifySharer(unit);
     }
 }
@@ -288,12 +290,12 @@ HtmContext::levelsReading(Addr line) const
         ++statSigFiltered;
         return 0;
     }
-    auto it = aggReaders.find(line);
-    if (it == aggReaders.end()) {
+    const std::uint32_t* m = aggReaders.find(line);
+    if (!m) {
         ++statSigFalsePositives;
         return 0;
     }
-    return it->second;
+    return *m;
 }
 
 std::uint32_t
@@ -303,12 +305,12 @@ HtmContext::levelsWriting(Addr line) const
         ++statSigFiltered;
         return 0;
     }
-    auto it = aggWriters.find(line);
-    if (it == aggWriters.end()) {
+    const std::uint32_t* m = aggWriters.find(line);
+    if (!m) {
         ++statSigFalsePositives;
         return 0;
     }
-    return it->second;
+    return *m;
 }
 
 std::uint32_t
@@ -351,7 +353,7 @@ HtmContext::wroteWordInPlace(Addr word_addr) const
         return false;
     }
     for (const auto& lvl : levels)
-        if (lvl.writtenWords.count(word_addr))
+        if (lvl.writtenWords.contains(word_addr))
             return true;
     return false;
 }
@@ -359,20 +361,20 @@ HtmContext::wroteWordInPlace(Addr word_addr) const
 Word
 HtmContext::oldestUndoValue(Addr word_addr) const
 {
-    auto it = undoIndex.find(word_addr);
-    if (it == undoIndex.end() || it->second.empty())
+    const auto* entries = undoIndex.find(word_addr);
+    if (!entries || entries->empty())
         panic("oldestUndoValue: no undo entry for 0x%llx",
               static_cast<unsigned long long>(word_addr));
-    return undoLog[it->second.front()].oldValue;
+    return undoLog[entries->front()].oldValue;
 }
 
 void
 HtmContext::patchUndoEntries(Addr word_addr, Word value)
 {
-    auto it = undoIndex.find(word_addr);
-    if (it == undoIndex.end())
+    const auto* entries = undoIndex.find(word_addr);
+    if (!entries)
         return;
-    for (size_t i : it->second)
+    for (std::uint32_t i : *entries)
         undoLog[i].oldValue = value;
 }
 
@@ -387,12 +389,35 @@ HtmContext::setTopValidated()
 }
 
 const std::vector<Addr>&
+HtmContext::writeLinesOrdered(const TxLevel& t) const
+{
+    if (!t.wlShadowValid) {
+        t.wlShadow.clear();
+        if (t.writeLines.size() <= 1) {
+            t.wlShadow.assign(t.writeLines.begin(), t.writeLines.end());
+        } else {
+            // Replay the unique lines, in first-insert order, through
+            // a fresh unordered_set: on a given libstdc++ this yields
+            // the exact iteration order the historical unordered_set
+            // write set had (range inserts and duplicate inserts do
+            // not perturb the final order). Broadcast order — and with
+            // it tick-level timing — stays bit-identical to the
+            // pre-flat-set implementation.
+            std::unordered_set<Addr> shadow;
+            for (Addr a : t.writeLines)
+                shadow.insert(a);
+            t.wlShadow.assign(shadow.begin(), shadow.end());
+        }
+        t.wlShadowValid = true;
+    }
+    return t.wlShadow;
+}
+
+const std::vector<Addr>&
 HtmContext::topWriteLines() const
 {
-    const auto& lines = top().writeLines;
-    scratchLines.clear();
-    scratchLines.reserve(lines.size());
-    scratchLines.assign(lines.begin(), lines.end());
+    const std::vector<Addr>& ordered = writeLinesOrdered(top());
+    scratchLines.assign(ordered.begin(), ordered.end());
     return scratchLines;
 }
 
@@ -434,16 +459,22 @@ HtmContext::commitClosedTop()
     levels.pop_back();
     TxLevel& parent = levels.back();
 
-    parent.readLines.insert(child.readLines.begin(), child.readLines.end());
-    parent.writeLines.insert(child.writeLines.begin(),
-                             child.writeLines.end());
+    for (Addr a : child.readLines)
+        parent.readLines.insert(a);
+    // Merge the child's write set in its historical iteration order so
+    // the parent's first-insert record — and with it the parent's own
+    // broadcast order — matches what range-inserting the child's
+    // unordered_set produced (see writeLinesOrdered).
+    for (Addr a : writeLinesOrdered(child))
+        parent.writeLines.insert(a);
+    parent.wlShadowValid = false;
     mergeChildAggregates(child, childLevelNum);
     // The popped child level's Validated bit (if any) no longer exists.
     validatedMask &= ~(1u << (childLevelNum - 1));
     for (const auto& [word, value] : child.writeBuffer)
         parent.writeBuffer[word] = value;
-    parent.writtenWords.insert(child.writtenWords.begin(),
-                               child.writtenWords.end());
+    for (Addr w : child.writtenWords)
+        parent.writtenWords.insert(w);
     // Undo-log entries of the child are absorbed by the parent simply
     // because the parent's undoBase already bounds them (paper 6.3.1).
 
@@ -488,9 +519,8 @@ HtmContext::commitTopToMemory()
             // any change to their read/write sets (paper 4.5).
             for (int i = depth() - 1; i >= 1; --i) {
                 auto& buf = levels[static_cast<size_t>(i - 1)].writeBuffer;
-                auto hit = buf.find(word);
-                if (hit != buf.end())
-                    hit->second = value;
+                if (Word* hit = buf.find(word))
+                    *hit = value;
             }
         }
     } else {
@@ -662,7 +692,8 @@ HtmContext::noteEviction(const EvictInfo& info)
 void
 HtmContext::pushUndo(Addr word_addr)
 {
-    undoIndex[word_addr].push_back(undoLog.size());
+    undoIndex[word_addr].push_back(
+        static_cast<std::uint32_t>(undoLog.size()));
     undoLog.push_back(UndoEntry{word_addr, mem.read(word_addr)});
 }
 
@@ -670,12 +701,13 @@ void
 HtmContext::truncateUndo(size_t new_size)
 {
     while (undoLog.size() > new_size) {
-        auto it = undoIndex.find(undoLog.back().addr);
+        const Addr word = undoLog.back().addr;
+        auto* entries = undoIndex.find(word);
         // The newest entry for a word is necessarily the last index in
         // its per-word list.
-        it->second.pop_back();
-        if (it->second.empty())
-            undoIndex.erase(it);
+        entries->pop_back();
+        if (entries->empty())
+            undoIndex.erase(word);
         undoLog.pop_back();
     }
 }

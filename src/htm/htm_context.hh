@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "htm/htm_config.hh"
@@ -311,16 +310,21 @@ class HtmContext
     std::uint32_t
     readersOf(Addr unit) const
     {
-        auto it = aggReaders.find(unit);
-        return it == aggReaders.end() ? 0 : it->second;
+        const std::uint32_t* m = aggReaders.find(unit);
+        return m ? *m : 0;
     }
 
     std::uint32_t
     writersOf(Addr unit) const
     {
-        auto it = aggWriters.find(unit);
-        return it == aggWriters.end() ? 0 : it->second;
+        const std::uint32_t* m = aggWriters.find(unit);
+        return m ? *m : 0;
     }
+
+    /** The top (or any) level's write set in the exact order the
+     *  historical std::unordered_set write set iterated; cached per
+     *  level and rebuilt from insertion order on demand. */
+    const std::vector<Addr>& writeLinesOrdered(const TxLevel& t) const;
 
     void notifySharer(Addr unit);
     void noteReadInsert(Addr unit);
@@ -354,12 +358,12 @@ class HtmContext
      *  lockstep with undoLog by pushUndo/truncateUndo. front() is the
      *  oldest (committed-value) entry, so the strong-atomicity queries
      *  cost O(entries for this word) instead of O(log length). */
-    std::unordered_map<Addr, std::vector<size_t>> undoIndex;
+    FlatAddrMap<std::vector<std::uint32_t>> undoIndex;
 
     /** Track-unit -> bitmask of levels reading/writing it; the union of
      *  the per-level sets, maintained incrementally. */
-    std::unordered_map<Addr, std::uint32_t> aggReaders;
-    std::unordered_map<Addr, std::uint32_t> aggWriters;
+    FlatAddrMap<std::uint32_t> aggReaders;
+    FlatAddrMap<std::uint32_t> aggWriters;
 
     /** Bloom filters over the aggregates (write signature also covers
      *  in-place written words under undo-log versioning). Invalidated

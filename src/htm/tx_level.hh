@@ -7,9 +7,9 @@
 #ifndef TMSIM_HTM_TX_LEVEL_HH
 #define TMSIM_HTM_TX_LEVEL_HH
 
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
+#include "htm/small_set.hh"
 #include "sim/types.hh"
 
 namespace tmsim {
@@ -44,16 +44,30 @@ struct TxLevel
     /** Tick of the xbegin that created this level (conflict ages). */
     Tick beginTick = 0;
 
-    /** Line-granularity read and write sets. */
-    std::unordered_set<Addr> readLines;
-    std::unordered_set<Addr> writeLines;
+    /** Line-granularity read and write sets. The read set may drop
+     *  lines (release); the write set only ever grows, keeping its
+     *  insertion order equal to first-insert order — which is what
+     *  the broadcast-order reconstruction below depends on. */
+    FlatAddrSet<8> readLines;
+    FlatAddrSet<8> writeLines;
 
     /** Word-granularity speculative data (VersionMode::WriteBuffer). */
-    std::unordered_map<Addr, Word> writeBuffer;
+    FlatAddrMap<Word> writeBuffer;
 
     /** Word addresses written at this level (VersionMode::UndoLog;
      *  used for open-nested ancestor patching and broadcasts). */
-    std::unordered_set<Addr> writtenWords;
+    FlatAddrSet<8> writtenWords;
+
+    /**
+     * Cached write-set broadcast order. Historically the write set
+     * was a std::unordered_set and its iteration order — a function
+     * of the first-insert order of its unique elements — leaked into
+     * observable timing via the commit broadcast. HtmContext rebuilds
+     * that exact order from writeLines' insertion order on demand
+     * (see writeLinesOrdered); valid is cleared on every insert.
+     */
+    mutable std::vector<Addr> wlShadow;
+    mutable bool wlShadowValid = false;
 
     /** First undo-log index belonging to this level. */
     size_t undoBase = 0;
@@ -75,6 +89,8 @@ struct TxLevel
         writeLines.clear();
         writeBuffer.clear();
         writtenWords.clear();
+        wlShadow.clear();
+        wlShadowValid = false;
     }
 };
 

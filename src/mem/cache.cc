@@ -23,6 +23,10 @@ Cache::Cache(std::string name_, const CacheGeometry& geom_,
         fatal("%s: max nesting levels must be in [1, 30]", name.c_str());
     sets.assign(geom.numSets(),
                 std::vector<Line>(static_cast<size_t>(geom.assoc)));
+    std::uint32_t flat = 0;
+    for (auto& set : sets)
+        for (auto& line : set)
+            line.self = flat++;
 }
 
 std::vector<Cache::Line>&
@@ -109,7 +113,7 @@ Cache::allocate(Addr line_addr, EvictInfo* evict)
             evict->transactional = victim->isTx();
         }
     }
-    *victim = Line{};
+    wipe(*victim);
     victim->valid = true;
     victim->lineAddr = line_addr;
     touch(*victim);
@@ -134,7 +138,7 @@ Cache::invalidateNonSpec(Addr line_addr)
     for (auto& line : setFor(line_addr)) {
         if (line.valid && line.lineAddr == line_addr && !line.isTx() &&
             line.nl == 0) {
-            line = Line{};
+            wipe(line);
         }
     }
 }
@@ -161,6 +165,7 @@ Cache::markRead(Addr line_addr, int level)
         if (!line)
             line = allocate(line_addr, nullptr);
         line->readMask |= levelBit(eff);
+        syncTx(*line);
         touch(*line);
         return;
     }
@@ -180,6 +185,7 @@ Cache::markRead(Addr line_addr, int level)
         line->nl = eff;
     }
     line->readMask |= 1;
+    syncTx(*line);
     touch(*line);
 }
 
@@ -195,6 +201,7 @@ Cache::markWrite(Addr line_addr, int level)
         if (!line)
             line = allocate(line_addr, nullptr);
         line->writeMask |= levelBit(eff);
+        syncTx(*line);
         touch(*line);
         return;
     }
@@ -211,6 +218,7 @@ Cache::markWrite(Addr line_addr, int level)
         line->nl = eff;
     }
     line->writeMask |= 1;
+    syncTx(*line);
     touch(*line);
 }
 
@@ -258,31 +266,40 @@ Cache::isWritten(Addr line_addr, int level) const
     return false;
 }
 
+// The gang operations below walk the tx-line index instead of the
+// whole cache: only lines carrying annotations can be affected, and
+// each per-line transform is independent of every other annotated
+// line (the associativity merge targets are addressed by (addr, nl),
+// which is unique within a set), so index order does not matter.
+// syncTx() may swap-remove the current slot, in which case the same
+// slot index is revisited; lines it appends (a merge target gaining
+// its first annotation) are no-ops for the running transform.
+
 void
 Cache::clearLevel(int level)
 {
     int eff = std::min(level, maxLevels);
-    for (auto& set : sets) {
-        for (auto& line : set) {
-            if (!line.valid)
-                continue;
-            if (scheme == NestScheme::MultiTracking) {
-                line.readMask &= ~levelBit(eff);
-                line.writeMask &= ~levelBit(eff);
-            } else if (line.nl == eff) {
-                if (line.writeMask) {
-                    // Dirty speculative version: discard (the
-                    // committed version, if any, lives in another way
-                    // or in memory).
-                    line = Line{};
-                } else {
-                    // Read-only at this level: the data is committed
-                    // and stays valid; only the annotation dies.
-                    line.nl = 0;
-                    line.readMask = 0;
-                }
+    for (size_t i = 0; i < txLines.size();) {
+        Line& line = lineAt(txLines[i]);
+        if (scheme == NestScheme::MultiTracking) {
+            line.readMask &= ~levelBit(eff);
+            line.writeMask &= ~levelBit(eff);
+            syncTx(line);
+        } else if (line.nl == eff) {
+            if (line.writeMask) {
+                // Dirty speculative version: discard (the committed
+                // version, if any, lives in another way or in memory).
+                wipe(line);
+            } else {
+                // Read-only at this level: the data is committed and
+                // stays valid; only the annotation dies.
+                line.nl = 0;
+                line.readMask = 0;
+                syncTx(line);
             }
         }
+        if (line.txSlot == static_cast<std::int32_t>(i))
+            ++i;
     }
 }
 
@@ -293,44 +310,47 @@ Cache::mergeLevelDown(int level)
     std::uint32_t bit = levelBit(eff);
     std::uint32_t below = eff >= 2 ? levelBit(eff - 1) : 0;
 
-    for (auto& set : sets) {
-        for (auto& line : set) {
-            if (!line.valid)
-                continue;
-            if (scheme == NestScheme::MultiTracking) {
-                if (line.readMask & bit) {
-                    line.readMask &= ~bit;
-                    line.readMask |= below;
-                }
-                if (line.writeMask & bit) {
-                    line.writeMask &= ~bit;
-                    line.writeMask |= below;
-                }
-            } else if (line.nl == eff) {
-                // Retag to the parent level; merge into an existing
-                // parent version if one occupies the same set.
-                Line* parent = nullptr;
-                for (auto& other : set) {
-                    if (&other != &line && other.valid &&
-                        other.lineAddr == line.lineAddr &&
-                        other.nl == eff - 1) {
-                        parent = &other;
-                        break;
-                    }
-                }
-                if (parent) {
-                    parent->readMask |= line.readMask;
-                    parent->writeMask |= line.writeMask;
-                    line = Line{};
-                } else {
-                    line.nl = eff - 1;
-                    if (line.nl == 0) {
-                        line.readMask = 0;
-                        line.writeMask = 0;
-                    }
+    for (size_t i = 0; i < txLines.size();) {
+        Line& line = lineAt(txLines[i]);
+        if (scheme == NestScheme::MultiTracking) {
+            if (line.readMask & bit) {
+                line.readMask &= ~bit;
+                line.readMask |= below;
+            }
+            if (line.writeMask & bit) {
+                line.writeMask &= ~bit;
+                line.writeMask |= below;
+            }
+            syncTx(line);
+        } else if (line.nl == eff) {
+            // Retag to the parent level; merge into an existing
+            // parent version if one occupies the same set.
+            auto& set = setFor(line.lineAddr);
+            Line* parent = nullptr;
+            for (auto& other : set) {
+                if (&other != &line && other.valid &&
+                    other.lineAddr == line.lineAddr &&
+                    other.nl == eff - 1) {
+                    parent = &other;
+                    break;
                 }
             }
+            if (parent) {
+                parent->readMask |= line.readMask;
+                parent->writeMask |= line.writeMask;
+                syncTx(*parent);
+                wipe(line);
+            } else {
+                line.nl = eff - 1;
+                if (line.nl == 0) {
+                    line.readMask = 0;
+                    line.writeMask = 0;
+                }
+                syncTx(line);
+            }
         }
+        if (line.txSlot == static_cast<std::int32_t>(i))
+            ++i;
     }
 }
 
@@ -338,62 +358,62 @@ void
 Cache::commitOpenLevel(int level)
 {
     int eff = std::min(level, maxLevels);
-    for (auto& set : sets) {
-        for (auto& line : set) {
-            if (!line.valid)
-                continue;
-            if (scheme == NestScheme::MultiTracking) {
-                line.readMask &= ~levelBit(eff);
-                line.writeMask &= ~levelBit(eff);
-            } else if (line.nl == eff) {
-                // Keep the (now committed) data as a plain line unless
-                // a plain copy already exists in the set.
-                Line* plain = nullptr;
-                for (auto& other : set) {
-                    if (&other != &line && other.valid &&
-                        other.lineAddr == line.lineAddr && other.nl == 0) {
-                        plain = &other;
-                        break;
-                    }
-                }
-                if (plain) {
-                    line = Line{};
-                } else {
-                    line.nl = 0;
-                    line.readMask = 0;
-                    line.writeMask = 0;
+    for (size_t i = 0; i < txLines.size();) {
+        Line& line = lineAt(txLines[i]);
+        if (scheme == NestScheme::MultiTracking) {
+            line.readMask &= ~levelBit(eff);
+            line.writeMask &= ~levelBit(eff);
+            syncTx(line);
+        } else if (line.nl == eff) {
+            // Keep the (now committed) data as a plain line unless
+            // a plain copy already exists in the set.
+            auto& set = setFor(line.lineAddr);
+            Line* plain = nullptr;
+            for (auto& other : set) {
+                if (&other != &line && other.valid &&
+                    other.lineAddr == line.lineAddr && other.nl == 0) {
+                    plain = &other;
+                    break;
                 }
             }
+            if (plain) {
+                wipe(line);
+            } else {
+                line.nl = 0;
+                line.readMask = 0;
+                line.writeMask = 0;
+                syncTx(line);
+            }
         }
+        if (line.txSlot == static_cast<std::int32_t>(i))
+            ++i;
     }
 }
 
 void
 Cache::clearAllTx()
 {
-    for (auto& set : sets) {
-        for (auto& line : set) {
-            if (!line.valid)
-                continue;
-            if (scheme == NestScheme::MultiTracking) {
-                line.readMask = 0;
-                line.writeMask = 0;
-            } else if (line.nl != 0) {
-                line = Line{};
-            }
+    for (size_t i = 0; i < txLines.size();) {
+        Line& line = lineAt(txLines[i]);
+        if (scheme == NestScheme::MultiTracking) {
+            line.readMask = 0;
+            line.writeMask = 0;
+            syncTx(line);
+        } else if (line.nl != 0) {
+            wipe(line);
         }
+        // else: an associativity-scheme plain (nl == 0) line carrying
+        // masks from a level-1 merge; it keeps its annotations, same
+        // as the whole-cache scan did.
+        if (line.txSlot == static_cast<std::int32_t>(i))
+            ++i;
     }
 }
 
 std::uint64_t
 Cache::txLineCount() const
 {
-    std::uint64_t count = 0;
-    for (const auto& set : sets)
-        for (const auto& line : set)
-            if (line.valid && (line.isTx() || line.nl != 0))
-                ++count;
-    return count;
+    return txLines.size();
 }
 
 int

@@ -122,8 +122,17 @@ class Cache
         std::uint32_t writeMask = 0;
         // Associativity: nesting level of this version (0 = plain data).
         int nl = 0;
+        // Flat position of this way (set * assoc + way); fixed at
+        // construction so the tx index can address lines by number.
+        std::uint32_t self = 0;
+        // Position in txLines while annotated, -1 otherwise.
+        std::int32_t txSlot = -1;
 
         bool isTx() const { return readMask != 0 || writeMask != 0; }
+        bool holdsTxMeta() const
+        {
+            return valid && (isTx() || nl != 0);
+        }
     };
 
     std::vector<Line>& setFor(Addr line_addr);
@@ -135,11 +144,53 @@ class Cache
     Line* allocate(Addr line_addr, EvictInfo* evict);
     void touch(Line& line) { line.lru = ++lruClock; }
 
+    Line&
+    lineAt(std::uint32_t flat)
+    {
+        return sets[flat / static_cast<std::uint32_t>(geom.assoc)]
+                   [flat % static_cast<std::uint32_t>(geom.assoc)];
+    }
+
+    /** Reconcile @p line's membership in the tx-line index with its
+     *  current annotation state. Call after any mutation of valid,
+     *  readMask, writeMask or nl. */
+    void
+    syncTx(Line& line)
+    {
+        const bool want = line.holdsTxMeta();
+        if (want && line.txSlot < 0) {
+            line.txSlot = static_cast<std::int32_t>(txLines.size());
+            txLines.push_back(line.self);
+        } else if (!want && line.txSlot >= 0) {
+            const std::uint32_t moved = txLines.back();
+            txLines[static_cast<size_t>(line.txSlot)] = moved;
+            lineAt(moved).txSlot = line.txSlot;
+            txLines.pop_back();
+            line.txSlot = -1;
+        }
+    }
+
+    /** Invalidate @p line in place, keeping self/txSlot bookkeeping. */
+    void
+    wipe(Line& line)
+    {
+        line.valid = false;
+        line.lineAddr = invalidAddr;
+        line.lru = 0;
+        line.readMask = 0;
+        line.writeMask = 0;
+        line.nl = 0;
+        syncTx(line);
+    }
+
     std::string name;
     CacheGeometry geom;
     NestScheme scheme;
     int maxLevels;
     std::vector<std::vector<Line>> sets;
+    /** Flat indices of every line with holdsTxMeta(); lets commit and
+     *  rollback touch only annotated lines instead of the whole cache. */
+    std::vector<std::uint32_t> txLines;
     std::uint64_t lruClock = 0;
 
     StatsRegistry::Counter& statHits;

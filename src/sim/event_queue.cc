@@ -1,6 +1,6 @@
 #include "sim/event_queue.hh"
 
-#include <utility>
+#include <algorithm>
 
 #include "sim/logging.hh"
 
@@ -9,7 +9,16 @@ namespace tmsim {
 void
 EventQueue::schedule(Cycles delay, Callback cb)
 {
-    scheduleAt(_curTick + delay, std::move(cb));
+    scheduleAt(_curTick + delay, cb);
+}
+
+void
+EventQueue::pushRing(Tick when, Callback& cb)
+{
+    Bucket& b = ring[bucketIndex(when)];
+    b.cbs.push_back(cb);
+    occupied |= std::uint64_t{1} << bucketIndex(when);
+    ++ringCount;
 }
 
 void
@@ -19,27 +28,79 @@ EventQueue::scheduleAt(Tick when, Callback cb)
         panic("event scheduled in the past (%llu < %llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(_curTick));
-    events.push(Event{when, nextSeq++, std::move(cb)});
+    if (when - _curTick < ringTicks) {
+        pushRing(when, cb);
+    } else {
+        overflow.push_back(FarEvent{when, nextSeq++, cb});
+        std::push_heap(overflow.begin(), overflow.end(), Later{});
+    }
+}
+
+void
+EventQueue::advanceTo(Tick t)
+{
+    _curTick = t;
+    // Drain every overflow event now inside [t, t + ringTicks). The
+    // heap pops in (when, seq) order, i.e. scheduling order per tick,
+    // and each target bucket is empty (its previous window tick has
+    // already executed), so FIFO order within the tick is preserved.
+    // t + ringTicks cannot overflow: t is always the tick of a pending
+    // event, or a caller-supplied maxTick below it.
+    while (!overflow.empty() && overflow.front().when - t < ringTicks) {
+        std::pop_heap(overflow.begin(), overflow.end(), Later{});
+        FarEvent& e = overflow.back();
+        pushRing(e.when, e.cb);
+        overflow.pop_back();
+    }
 }
 
 Tick
 EventQueue::run(Tick maxTick)
 {
-    while (!events.empty()) {
-        const Event& top = events.top();
-        if (top.when > maxTick) {
-            _curTick = maxTick;
+    for (;;) {
+        const size_t idx = bucketIndex(_curTick);
+        const std::uint64_t bit = std::uint64_t{1} << idx;
+        if (occupied & bit) {
+            Bucket& b = ring[idx];
+            // Index-based loop: a callback may push into this very
+            // bucket (same-tick scheduling), growing the vector.
+            while (b.head < b.cbs.size()) {
+                Callback cb = b.cbs[b.head++];
+                --ringCount;
+                ++numExecuted;
+                cb();
+            }
+            b.cbs.clear();
+            b.head = 0;
+            occupied &= ~bit;
+        }
+
+        if (ringCount == 0 && overflow.empty())
+            return _curTick;
+
+        // Next pending tick. Ring events always precede overflow ones
+        // (overflow implies when >= curTick + ringTicks).
+        Tick next;
+        if (ringCount != 0) {
+            // First occupied bucket cyclically after idx; delta in
+            // [1, ringTicks - 1]. rotr(occupied, idx + 1) puts bucket
+            // idx + 1 at bit 0 (s == 0 means idx == 63: no rotation).
+            const unsigned s = (idx + 1) & (ringTicks - 1);
+            const std::uint64_t rot =
+                s ? (occupied >> s) | (occupied << (ringTicks - s))
+                  : occupied;
+            next = _curTick + 1 +
+                   static_cast<Tick>(__builtin_ctzll(rot));
+        } else {
+            next = overflow.front().when;
+        }
+
+        if (next > maxTick) {
+            advanceTo(maxTick);
             return _curTick;
         }
-        _curTick = top.when;
-        // Move the callback out before popping so the callback may
-        // schedule further events without invalidating 'top'.
-        Callback cb = std::move(const_cast<Event&>(top).cb);
-        events.pop();
-        ++numExecuted;
-        cb();
+        advanceTo(next);
     }
-    return _curTick;
 }
 
 } // namespace tmsim

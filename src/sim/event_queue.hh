@@ -5,19 +5,72 @@
  * All simulated concurrency in tmsim is driven by one EventQueue per
  * Machine. Events scheduled for the same tick fire in FIFO order of
  * scheduling, which makes every run bit-reproducible for a given seed.
+ *
+ * Internally the queue is a tick-bucketed calendar: a 64-slot ring of
+ * flat FIFO buckets covers the window [curTick, curTick + 64), which
+ * absorbs nearly every event the simulator schedules (pipeline delays,
+ * bus beats, same-tick wakeups). Events beyond the window land in an
+ * overflow min-heap keyed by (tick, sequence) and are drained into the
+ * ring — in scheduling order — when the window slides past them, so
+ * same-tick FIFO semantics are identical to the former global
+ * priority queue. Callbacks are stored in a small-buffer-optimized
+ * InlineCallback, so the common schedule path performs no heap
+ * allocation at all (buckets reuse their capacity tick after tick).
  */
 
 #ifndef TMSIM_SIM_EVENT_QUEUE_HH
 #define TMSIM_SIM_EVENT_QUEUE_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <new>
+#include <type_traits>
 #include <vector>
 
 #include "sim/types.hh"
 
 namespace tmsim {
+
+/**
+ * A fixed-capacity, trivially-copyable callable. Every event callback
+ * in the simulator is a tiny capture (a coroutine handle, a task
+ * pointer, a couple of references); storing them inline removes the
+ * per-event heap allocation std::function used to make.
+ */
+class InlineCallback
+{
+  public:
+    /** Inline capture capacity in bytes. */
+    static constexpr size_t capacity = 32;
+
+    InlineCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+    InlineCallback(F f)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= capacity,
+                      "event callback capture too large for "
+                      "InlineCallback; shrink the lambda capture");
+        static_assert(std::is_trivially_copyable_v<Fn>,
+                      "event callbacks must be trivially copyable");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t));
+        ::new (static_cast<void*>(buf)) Fn(f);
+        invokeFn = [](void* p) { (*static_cast<Fn*>(p))(); };
+    }
+
+    void operator()() { invokeFn(buf); }
+
+    explicit operator bool() const { return invokeFn != nullptr; }
+
+  private:
+    void (*invokeFn)(void*) = nullptr;
+    alignas(alignof(std::max_align_t)) unsigned char buf[capacity];
+};
 
 /**
  * A time-ordered queue of callbacks. The queue owns the notion of "now"
@@ -26,7 +79,7 @@ namespace tmsim {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
     EventQueue() = default;
     EventQueue(const EventQueue&) = delete;
@@ -48,26 +101,38 @@ class EventQueue
     Tick run(Tick maxTick = ~static_cast<Tick>(0));
 
     /** True if no events are pending. */
-    bool empty() const { return events.empty(); }
+    bool empty() const { return ringCount == 0 && overflow.empty(); }
 
     /** Number of pending events. */
-    size_t pending() const { return events.size(); }
+    size_t pending() const { return ringCount + overflow.size(); }
 
     /** Total events executed so far (for stats / determinism checks). */
     std::uint64_t executed() const { return numExecuted; }
 
   private:
-    struct Event
+    /** Ring window width in ticks (and bucket count); power of two. */
+    static constexpr Tick ringTicks = 64;
+
+    /** One tick's FIFO of callbacks. head indexes the next callback
+     *  to run; the vector keeps its capacity across ticks. */
+    struct Bucket
+    {
+        std::vector<Callback> cbs;
+        size_t head = 0;
+    };
+
+    struct FarEvent
     {
         Tick when;
         std::uint64_t seq;
         Callback cb;
     };
 
+    /** Heap comparator: min (when, seq) at the front. */
     struct Later
     {
         bool
-        operator()(const Event& a, const Event& b) const
+        operator()(const FarEvent& a, const FarEvent& b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -75,7 +140,21 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> events;
+    /** Tick t lives in bucket t & (ringTicks - 1) while t is inside
+     *  the window [_curTick, _curTick + ringTicks). */
+    static size_t bucketIndex(Tick t) { return t & (ringTicks - 1); }
+
+    /** Advance now to @p t (sliding the window) and pull every
+     *  overflow event that falls inside the new window into the ring,
+     *  in (when, seq) order so per-tick FIFO order is preserved. */
+    void advanceTo(Tick t);
+
+    void pushRing(Tick when, Callback& cb);
+
+    std::array<Bucket, ringTicks> ring;
+    std::uint64_t occupied = 0; ///< bit i set <=> ring[i] non-empty
+    size_t ringCount = 0;       ///< unexecuted callbacks in the ring
+    std::vector<FarEvent> overflow; ///< min-heap, when >= curTick + 64
     Tick _curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;

@@ -66,12 +66,6 @@ LogScope::~LogScope()
     activeCtx = prev;
 }
 
-void
-setQuiet(bool quiet)
-{
-    defaultLogContext().quiet = quiet;
-}
-
 std::string
 strfmt(const char* fmt, ...)
 {

@@ -88,7 +88,9 @@ class LogScope
  *  context when no LogScope is live on this thread). */
 LogContext& currentLogContext();
 
-/** The process-wide fallback context (what setQuiet() mutates). */
+/** The process-wide fallback context. Tools and benches set its
+ *  quiet flag once at startup; campaign workers scope their own
+ *  LogContext with LogScope instead. */
 LogContext& defaultLogContext();
 
 /**
@@ -112,14 +114,6 @@ void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Print an informational status message. */
 void inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
-
-/**
- * Deprecated shim: set the process-wide default context's quiet flag.
- * Pre-campaign callers (tools, benches) keep working unchanged; new
- * code should configure a LogContext (or Machine::logContext())
- * instead, which stays scoped to one machine / worker.
- */
-void setQuiet(bool quiet);
 
 /** Printf-style formatting into a std::string. */
 std::string strfmt(const char* fmt, ...)

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Golden determinism fingerprints.
+ *
+ * Each case runs a bundled kernel under a fixed configuration and
+ * fingerprints everything the simulator's hot paths could perturb:
+ * the number of events executed, the final tick, the chip-global
+ * commit (serialisation) order, and a hash of the full stats dump.
+ * The constants below were captured on the seed implementation
+ * (std::priority_queue event loop, std::unordered_set read/write
+ * sets); any hot-path rewrite must reproduce them bit-for-bit.
+ *
+ * The write-set broadcast order leaks libstdc++'s unordered_set
+ * iteration order into tick-level timing, so the exact constants are
+ * only asserted when running against the same libstdc++ release they
+ * were captured with. On other standard libraries the test still
+ * asserts run-to-run reproducibility of every fingerprint.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/machine.hh"
+#include "runtime/tx_thread.hh"
+#include "workloads/harness.hh"
+
+using namespace tmsim;
+
+namespace {
+
+/** libstdc++ release the golden constants were captured with. */
+#if defined(__GLIBCXX__)
+constexpr long capturedGlibcxx = 20220819; // gcc 12.2.0 (Debian)
+constexpr bool exactGoldens = (__GLIBCXX__ == capturedGlibcxx);
+#else
+constexpr bool exactGoldens = false;
+#endif
+
+struct Fingerprint
+{
+    std::uint64_t events = 0;
+    std::uint64_t ticks = 0;
+    std::uint64_t commitOrder = 0;
+    std::uint64_t statsText = 0;
+
+    bool
+    operator==(const Fingerprint& o) const
+    {
+        return events == o.events && ticks == o.ticks &&
+               commitOrder == o.commitOrder && statsText == o.statsText;
+    }
+};
+
+std::uint64_t
+fnv1a(std::uint64_t h, const void* data, size_t n)
+{
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+constexpr std::uint64_t fnvInit = 0xcbf29ce484222325ull;
+
+/** Mirror of runKernel() with commit-order hooks and queue access. */
+Fingerprint
+runFingerprint(const std::string& kernel_name, const HtmConfig& htm,
+               int n_threads, std::uint64_t fuzz_seed = 1)
+{
+    auto kernel = makeNamedKernel(kernel_name, fuzz_seed);
+    if (!kernel)
+        ADD_FAILURE() << "unknown kernel " << kernel_name;
+
+    MachineConfig cfg;
+    cfg.numCpus = n_threads;
+    cfg.htm = htm;
+    Machine m(cfg);
+    m.logContext().quiet = true;
+
+    std::uint64_t order = fnvInit;
+    m.setCommitOrderHooks(
+        [&order](CpuId cpu, bool open) {
+            const std::uint64_t rec =
+                (static_cast<std::uint64_t>(cpu) << 1) | (open ? 1 : 0);
+            order = fnv1a(order, &rec, sizeof(rec));
+        },
+        [&order](CpuId cpu) {
+            const std::uint64_t rec =
+                (static_cast<std::uint64_t>(cpu) << 1) | (1ull << 63);
+            order = fnv1a(order, &rec, sizeof(rec));
+        });
+
+    kernel->init(m, n_threads);
+
+    std::vector<std::unique_ptr<TxThread>> threads;
+    threads.reserve(static_cast<size_t>(n_threads));
+    for (int i = 0; i < n_threads; ++i)
+        threads.push_back(std::make_unique<TxThread>(m.cpu(i)));
+    for (int i = 0; i < n_threads; ++i) {
+        TxThread* t = threads[static_cast<size_t>(i)].get();
+        m.spawn(i, [k = kernel.get(), t, i, n_threads](Cpu&) -> SimTask {
+            co_await k->thread(*t, i, n_threads);
+        });
+    }
+
+    Fingerprint fp;
+    fp.ticks = m.run();
+    fp.events = m.eventQueue().executed();
+    fp.commitOrder = order;
+
+    std::ostringstream os;
+    m.stats().dump(os);
+    const std::string text = os.str();
+    fp.statsText = fnv1a(fnvInit, text.data(), text.size());
+
+    EXPECT_TRUE(kernel->verify(m, n_threads)) << kernel_name;
+    return fp;
+}
+
+struct GoldenCase
+{
+    const char* kernel;
+    const char* config; // "lazy" or "eager"
+    int threads;
+    Fingerprint expect;
+};
+
+/** Captured on the seed implementation; see file comment. */
+const GoldenCase goldenCases[] = {
+    {"mp3d", "lazy", 4,
+     {6045ull, 28356ull, 0x4db1ad9b2e846b25ull, 0xf8413dbceb3ee1ccull}},
+    {"mp3d", "eager", 4,
+     {5434ull, 22312ull, 0xb0cf2742cb1e16a5ull, 0x818ef2bbe8a92f25ull}},
+    {"contend", "lazy", 4,
+     {3975ull, 14109ull, 0x7adea40108c5eb25ull, 0x83a8cbf9422832eeull}},
+    {"contend", "eager", 4,
+     {3397ull, 17497ull, 0x83d3dd7740a52f25ull, 0xeebaf047ced6217eull}},
+    {"specjbb-closed", "lazy", 4,
+     {26664ull, 137093ull, 0x9a066da7e416e5e1ull, 0x41f6b41a83f4569bull}},
+    {"barnes", "eager", 2,
+     {13364ull, 89081ull, 0xbd42f82741d22ee5ull, 0x95aa917829411158ull}},
+};
+
+HtmConfig
+configByName(const std::string& name)
+{
+    return name == "eager" ? HtmConfig::eagerUndoLog()
+                           : HtmConfig::paperLazy();
+}
+
+} // namespace
+
+TEST(DeterminismGolden, KernelFingerprintsMatchSeed)
+{
+    const bool print = std::getenv("TMSIM_GOLDEN_PRINT") != nullptr;
+    for (const auto& c : goldenCases) {
+        SCOPED_TRACE(std::string(c.kernel) + "/" + c.config);
+        Fingerprint fp =
+            runFingerprint(c.kernel, configByName(c.config), c.threads);
+        if (print) {
+            printf("    {\"%s\", \"%s\", %d,\n"
+                   "     {%lluull, %lluull, 0x%llxull, 0x%llxull}},\n",
+                   c.kernel, c.config, c.threads,
+                   static_cast<unsigned long long>(fp.events),
+                   static_cast<unsigned long long>(fp.ticks),
+                   static_cast<unsigned long long>(fp.commitOrder),
+                   static_cast<unsigned long long>(fp.statsText));
+            continue;
+        }
+        if (exactGoldens) {
+            EXPECT_EQ(fp.events, c.expect.events);
+            EXPECT_EQ(fp.ticks, c.expect.ticks);
+            EXPECT_EQ(fp.commitOrder, c.expect.commitOrder);
+            EXPECT_EQ(fp.statsText, c.expect.statsText);
+        }
+        // Regardless of the standard library, the same run twice must
+        // produce the same fingerprint.
+        Fingerprint again =
+            runFingerprint(c.kernel, configByName(c.config), c.threads);
+        EXPECT_TRUE(fp == again);
+    }
+}
+
+TEST(DeterminismGolden, FuzzKernelIsReproducible)
+{
+    Fingerprint a = runFingerprint("fuzz", HtmConfig::paperLazy(), 4, 42);
+    Fingerprint b = runFingerprint("fuzz", HtmConfig::paperLazy(), 4, 42);
+    EXPECT_TRUE(a == b);
+}

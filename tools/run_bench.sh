@@ -15,7 +15,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-${repo_root}/build-bench}"
 
-all_targets=(micro_sim_ops abl_conflict_index)
+all_targets=(micro_sim_ops abl_conflict_index abl_hotpath)
 
 # Plain-printf ablation exes that manage their own JSON output (no
 # google-benchmark flags); each entry maps target -> output flag.

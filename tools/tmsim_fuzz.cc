@@ -217,7 +217,7 @@ main(int argc, char** argv)
         }
     }
 
-    setQuiet(quiet);
+    defaultLogContext().quiet = quiet;
 
     if (selftest)
         return selftestInject(outDir, shrinkRuns, maxTicks);

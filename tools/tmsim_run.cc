@@ -141,7 +141,7 @@ main(int argc, char** argv)
     if (!kernel)
         fatal("unknown kernel '%s' (try --list)", kernelName.c_str());
 
-    setQuiet(quiet);
+    defaultLogContext().quiet = quiet;
 
     MachineConfig cfg;
     cfg.numCpus = cpus;

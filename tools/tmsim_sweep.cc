@@ -170,7 +170,7 @@ main(int argc, char** argv)
         }
     }
 
-    setQuiet(quiet);
+    defaultLogContext().quiet = quiet;
 
     // Grid cells in config-major order; job index == cell index.
     struct Cell
