@@ -11,6 +11,7 @@ Cpu::Cpu(CpuId id_, const HtmConfig& htm_cfg, const CacheGeometry& l1_geom,
     : cpuId(id_),
       eq(mem_sys.eventQueue()),
       memSys(mem_sys),
+      statsReg(stats),
       l1(strfmt("cpu%d.l1", id_), l1_geom, htm_cfg.scheme,
          htm_cfg.maxHwLevels, stats),
       l2(strfmt("cpu%d.l2", id_), l2_geom, htm_cfg.scheme,
@@ -303,6 +304,20 @@ Cpu::store(Addr addr, Word value)
     ctx.specWrite(addr, value);
 }
 
+int
+Cpu::registerOpClass(const std::string& name)
+{
+    auto it = opClassIds.find(name);
+    if (it != opClassIds.end())
+        return it->second;
+    const int id = static_cast<int>(opClasses.size());
+    opClasses.push_back(OpClassStats{
+        &statsReg.distribution("htm.tx_duration_committed." + name),
+        &statsReg.distribution("htm.violation_to_restart." + name)});
+    opClassIds.emplace(name, id);
+    return id;
+}
+
 void
 Cpu::consumeRestart()
 {
@@ -310,7 +325,13 @@ Cpu::consumeRestart()
         return;
     restartPending = false;
     ++statRestarts;
-    distVioRestart.sample(eq.curTick() - restartFromTick);
+    const Tick lat = eq.curTick() - restartFromTick;
+    distVioRestart.sample(lat);
+    // The restart belongs to the attempt that was rolled back, whose
+    // class is still latched in activeOpClass.
+    if (activeOpClass >= 0)
+        opClasses[static_cast<size_t>(activeOpClass)].vioRestart->sample(
+            lat);
 }
 
 SimTask
@@ -320,6 +341,8 @@ Cpu::xbegin()
         co_await deliverViolations();
     retire(1);
     consumeRestart();
+    if (!ctx.inTx())
+        activeOpClass = curOpClass;
     ctx.begin(TxKind::Closed, eq.curTick());
     co_await Delay{eq, 1};
 }
@@ -331,6 +354,8 @@ Cpu::xbeginOpen()
         co_await deliverViolations();
     retire(1);
     consumeRestart();
+    if (!ctx.inTx())
+        activeOpClass = curOpClass;
     ctx.begin(TxKind::Open, eq.curTick());
     co_await Delay{eq, 1};
 }
@@ -494,7 +519,11 @@ Cpu::xcommit()
     }
     if (outermost) {
         ++statOuterCommits;
-        distTxDurCommitted.sample(eq.curTick() - ctx.age());
+        const Tick dur = eq.curTick() - ctx.age();
+        distTxDurCommitted.sample(dur);
+        if (activeOpClass >= 0)
+            opClasses[static_cast<size_t>(activeOpClass)]
+                .durCommitted->sample(dur);
     }
     ctx.popCommittedTop();
     if (cost)

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -152,6 +153,27 @@ class Cpu
      *  computations inside workloads). */
     SimTask poll();
 
+    // --- op-class tagging (per-class tail latency) ---
+
+    /**
+     * Register (or look up) a named op class and return its dense id
+     * for setOpClass(). Registration creates the chip-wide
+     * htm.tx_duration_committed.<name> and
+     * htm.violation_to_restart.<name> distributions (shared across
+     * CPUs through the registry). Host-side only: costs no simulated
+     * instructions or cycles.
+     */
+    int registerOpClass(const std::string& name);
+
+    /**
+     * Tag subsequent outermost transactions with op class @p id (-1,
+     * the default, leaves them untagged). The class is latched at the
+     * outermost xbegin and attributed to that attempt's commit
+     * duration and violation-to-restart latency.
+     */
+    void setOpClass(int id) { curOpClass = id; }
+    int opClass() const { return curOpClass; }
+
   private:
     SimTask deliverViolations();
     SimTask defaultViolationProtocol();
@@ -171,6 +193,7 @@ class Cpu
     CpuId cpuId;
     EventQueue& eq;
     MemSystem& memSys;
+    StatsRegistry& statsReg;
     Cache l1;
     Cache l2;
     HtmContext ctx;
@@ -216,6 +239,20 @@ class Cpu
     StatsRegistry::Distribution& distTxDurCommitted;
     StatsRegistry::Distribution& distTxDurViolated;
     StatsRegistry::Distribution& distVioRestart;
+
+    /** Per-op-class slices of the commit-duration and restart-latency
+     *  histograms (chip-wide, shared by name through the registry). */
+    struct OpClassStats
+    {
+        StatsRegistry::Distribution* durCommitted;
+        StatsRegistry::Distribution* vioRestart;
+    };
+    std::vector<OpClassStats> opClasses;
+    std::unordered_map<std::string, int> opClassIds;
+    /** Class for the next outermost xbegin (setOpClass). */
+    int curOpClass = -1;
+    /** Class latched by the current/last outermost attempt. */
+    int activeOpClass = -1;
 };
 
 } // namespace tmsim

@@ -109,6 +109,19 @@ class TxThread
     SimTask st(Addr a, Word v) { return cpuRef.store(a, v); }
     SimTask work(std::uint64_t n) { return cpuRef.exec(n); }
 
+    // --- op-class tagging (per-class tail latency; host-side only) ---
+
+    /** Register a named op class on the bound Cpu; the returned id is
+     *  only valid for this thread's setOpClass(). */
+    int registerOpClass(const std::string& name)
+    {
+        return cpuRef.registerOpClass(name);
+    }
+
+    /** Tag subsequent transactions started by this thread (-1 clears).
+     *  Typically called right before atomic(). */
+    void setOpClass(int id) { cpuRef.setOpClass(id); }
+
     // --- transactions ---
 
     /** Run @p body as a closed-nested transaction, retrying on

@@ -30,6 +30,7 @@
 #define TMSIM_SIM_CAMPAIGN_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -37,6 +38,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace tmsim {
 
@@ -65,6 +67,39 @@ struct CampaignOptions
     /** Quiet flag of each job's LogContext (suppresses warn/inform
      *  from inside worker simulations). */
     bool quiet = false;
+
+    // --- live telemetry ---
+    //
+    // Everything below is strictly OFF the bitwise-identity path: it
+    // writes to stderr, the heartbeat file, and the caller-owned
+    // telemetry registry only, never to merged stdout or to the
+    // registry that aggregates job stats (wall-clock samples are
+    // nondeterministic and would break the --jobs 1 vs --jobs N
+    // identity that campaign_smoke/sweep_smoke enforce).
+
+    /** Emit a rate-limited progress line (merged/total, failures,
+     *  jobs/s, ETA) to stderr while the campaign runs. */
+    bool progress = false;
+
+    /** Write schema-versioned NDJSON heartbeat records (one JSON
+     *  object per line; see STATS.md "Campaign heartbeat") to this
+     *  file. Empty = off. The final record carries HDR summaries of
+     *  per-job wall time and merge time. */
+    std::string heartbeatFile;
+
+    /** Minimum milliseconds between progress/heartbeat emissions.
+     *  0 emits at every merge (tests). A final record/line is always
+     *  emitted regardless of the interval. */
+    int telemetryIntervalMs = 500;
+
+    /** Optional caller-owned registry receiving the
+     *  campaign.job_wall_us and campaign.merge_us HDR distributions.
+     *  Keep it separate from the merged job-stats registry. */
+    StatsRegistry* telemetry = nullptr;
+
+    /** App-level failure count (e.g. failing fuzz seeds) shown in
+     *  progress/heartbeat output; called on the caller thread. */
+    std::function<std::uint64_t()> failures;
 };
 
 /**

@@ -1,6 +1,9 @@
 #include "sim/stats.hh"
 
+#include <cmath>
 #include <cstdio>
+
+#include "sim/logging.hh"
 
 namespace tmsim {
 
@@ -41,10 +44,75 @@ fmtDouble(double v)
 int
 StatsRegistry::Distribution::highestBucket() const
 {
-    for (int b = numBuckets - 1; b >= 0; --b)
+    for (int b = numBuckets() - 1; b >= 0; --b)
         if (bucketCounts[static_cast<size_t>(b)])
             return b;
     return -1;
+}
+
+std::uint64_t
+StatsRegistry::Distribution::quantile(double q) const
+{
+    if (cnt == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the sample we want, 1-based: the ceil(q * count)-th
+    // smallest sample (so p50 of two samples is the first, matching
+    // the "at least q of the data is <= result" reading).
+    std::uint64_t target =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(cnt)));
+    if (target < 1)
+        target = 1;
+    if (target > cnt)
+        target = cnt;
+    std::uint64_t cum = 0;
+    const int top = highestBucket();
+    for (int b = 0; b <= top; ++b) {
+        cum += bucketCounts[static_cast<size_t>(b)];
+        if (cum >= target) {
+            // Report the bucket's upper bound, clamped to the observed
+            // max: never below the true sample, and at most one bucket
+            // width (< 2^-subBits relative) above it.
+            const std::uint64_t hi = bucketHi(b);
+            return hi < maxVal ? hi : maxVal;
+        }
+    }
+    return maxVal;
+}
+
+void
+StatsRegistry::Distribution::mergeFrom(const Distribution& other)
+{
+    if (other.cnt == 0)
+        return;
+    if (cnt == 0 && subBits != other.subBits) {
+        // An empty destination (e.g. a fresh campaign-merge registry)
+        // adopts the source's resolution; folding populated histograms
+        // of different resolutions would corrupt the bucket counts.
+        subBits = other.subBits;
+        bucketCounts.assign(static_cast<size_t>(bucketsFor(subBits)), 0);
+    }
+    if (subBits != other.subBits) {
+        fatal("cannot merge distributions with different sub-bucket "
+              "bits (%d vs %d)",
+              subBits, other.subBits);
+    }
+    if (cnt == 0) {
+        minVal = other.minVal;
+        maxVal = other.maxVal;
+    } else {
+        if (other.minVal < minVal)
+            minVal = other.minVal;
+        if (other.maxVal > maxVal)
+            maxVal = other.maxVal;
+    }
+    cnt += other.cnt;
+    sumVal += other.sumVal;
+    for (size_t b = 0; b < bucketCounts.size(); ++b)
+        bucketCounts[b] += other.bucketCounts[b];
 }
 
 StatsRegistry::Counter&
@@ -57,6 +125,13 @@ StatsRegistry::Distribution&
 StatsRegistry::distribution(const std::string& name)
 {
     return dists[name];
+}
+
+StatsRegistry::Distribution&
+StatsRegistry::distribution(const std::string& name, int sub_bucket_bits)
+{
+    return dists.try_emplace(name, Distribution(sub_bucket_bits))
+        .first->second;
 }
 
 void
@@ -193,12 +268,16 @@ StatsRegistry::dump(std::ostream& os) const
         os << name << "::min " << dist.min() << "\n";
         os << name << "::max " << dist.max() << "\n";
         os << name << "::mean " << fmtDouble(dist.mean()) << "\n";
+        os << name << "::p50 " << dist.quantile(0.50) << "\n";
+        os << name << "::p90 " << dist.quantile(0.90) << "\n";
+        os << name << "::p99 " << dist.quantile(0.99) << "\n";
+        os << name << "::p999 " << dist.quantile(0.999) << "\n";
         const int top = dist.highestBucket();
         for (int b = 0; b <= top; ++b) {
             if (dist.bucketCount(b) == 0)
                 continue;
-            os << name << "::bucket[" << Distribution::bucketLo(b) << ","
-               << Distribution::bucketHi(b) << "] " << dist.bucketCount(b)
+            os << name << "::bucket[" << dist.bucketLo(b) << ","
+               << dist.bucketHi(b) << "] " << dist.bucketCount(b)
                << "\n";
         }
     }
@@ -229,15 +308,21 @@ StatsRegistry::dumpJson(std::ostream& os) const
            << "\": {\"samples\": " << dist.count()
            << ", \"min\": " << dist.min() << ", \"max\": " << dist.max()
            << ", \"mean\": " << fmtDouble(dist.mean())
-           << ", \"total\": " << dist.total() << ", \"buckets\": [";
+           << ", \"total\": " << dist.total()
+           << ", \"p50\": " << dist.quantile(0.50)
+           << ", \"p90\": " << dist.quantile(0.90)
+           << ", \"p99\": " << dist.quantile(0.99)
+           << ", \"p999\": " << dist.quantile(0.999)
+           << ", \"sub_bucket_bits\": " << dist.subBucketBits()
+           << ", \"buckets\": [";
         const int top = dist.highestBucket();
         bool firstB = true;
         for (int b = 0; b <= top; ++b) {
             if (dist.bucketCount(b) == 0)
                 continue;
             os << (firstB ? "" : ", ") << "{\"lo\": "
-               << Distribution::bucketLo(b) << ", \"hi\": "
-               << Distribution::bucketHi(b) << ", \"count\": "
+               << dist.bucketLo(b) << ", \"hi\": "
+               << dist.bucketHi(b) << ", \"count\": "
                << dist.bucketCount(b) << "}";
             firstB = false;
         }

@@ -4,8 +4,9 @@
  *
  * Three stat kinds:
  *  - Counter: a named 64-bit event counter.
- *  - Distribution: a log2-bucketed histogram with min/max/mean, for
- *    quantities whose shape matters (set sizes, durations, latencies).
+ *  - Distribution: an HdrHistogram-style log-linear histogram with
+ *    min/max/mean and bounded-error quantiles, for quantities whose
+ *    shape matters (set sizes, durations, latencies).
  *  - Formula: a derived ratio of two counter sum() patterns, evaluated
  *    lazily at dump time so it never goes stale.
  *
@@ -17,7 +18,7 @@
 #ifndef TMSIM_SIM_STATS_HH
 #define TMSIM_SIM_STATS_HH
 
-#include <array>
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -30,8 +31,10 @@ namespace tmsim {
 
 /** Bumped whenever the dump format changes shape. v1 was the bare
  *  "name value" counter listing; v2 added the header line itself,
- *  distributions and formulas. */
-constexpr int statsSchemaVersion = 2;
+ *  distributions and formulas; v3 switched distributions to log-linear
+ *  (HDR) sub-bucketing and added the ::p50/::p90/::p99/::p999 quantile
+ *  keys plus the per-distribution sub_bucket_bits field. */
+constexpr int statsSchemaVersion = 3;
 
 /**
  * A registry of named statistics. Components register stats at
@@ -59,15 +62,44 @@ class StatsRegistry
     };
 
     /**
-     * A log2-bucketed histogram. Bucket 0 holds exactly the value 0;
-     * bucket b >= 1 holds values in [2^(b-1), 2^b - 1]. 65 buckets
-     * cover the full 64-bit sample range, so sample() never saturates
-     * and the bucket counts always sum to count().
+     * An HdrHistogram-style log-linear histogram. With S sub-bucket
+     * bits, every value below 2^S gets its own exact unit bucket;
+     * above that, each power-of-two magnitude [2^k, 2^(k+1)) is split
+     * into 2^S equal-width sub-buckets. The bucket width at magnitude
+     * k is therefore 2^(k-S), which bounds the relative quantile error
+     * at 2^-S (6.25% at the default S = 4). S = 0 degenerates to the
+     * schema-v2 pure log2 layout.
+     *
+     * (65 - S) * 2^S buckets cover the full 64-bit sample range, so
+     * sample() never saturates and the bucket counts always sum to
+     * count(). Bucket counts are integers and merge by addition, so
+     * quantiles of a merged distribution are independent of merge
+     * order — the property campaign aggregation relies on.
      */
     class Distribution
     {
       public:
-        static constexpr int numBuckets = 65;
+        /** Default sub-bucket resolution: 16 sub-buckets per log2
+         *  magnitude, i.e. at most 6.25% relative quantile error. */
+        static constexpr int defaultSubBucketBits = 4;
+        static constexpr int maxSubBucketBits = 8;
+
+        explicit Distribution(int sub_bucket_bits = defaultSubBucketBits)
+            : subBits(clampBits(sub_bucket_bits)),
+              bucketCounts(static_cast<size_t>(bucketsFor(subBits)), 0)
+        {}
+
+        /** Number of sub-bucket bits S this instance was built with. */
+        int subBucketBits() const { return subBits; }
+
+        /** Total bucket count for a given S: (65 - S) * 2^S. */
+        static int
+        bucketsFor(int bits)
+        {
+            return (65 - bits) << bits;
+        }
+
+        int numBuckets() const { return bucketsFor(subBits); }
 
         void
         sample(std::uint64_t v)
@@ -83,33 +115,54 @@ class StatsRegistry
             }
             ++cnt;
             sumVal += v;
-            ++bucketCounts[static_cast<size_t>(bucketOf(v))];
+            ++bucketCounts[static_cast<size_t>(bucketOf(v, subBits))];
         }
 
-        /** Bucket index for @p v (0 for v == 0, else floor(log2 v)+1). */
+        /**
+         * Bucket index for @p v at @p bits sub-bucket bits. Values in
+         * [0, 2^bits) index themselves (the exact linear region); a
+         * larger v with magnitude k = floor(log2 v) lands in
+         * 2^bits + (k - bits) * 2^bits + ((v >> (k - bits)) - 2^bits).
+         */
         static int
-        bucketOf(std::uint64_t v)
+        bucketOf(std::uint64_t v, int bits)
         {
-            return v == 0 ? 0 : 64 - __builtin_clzll(v);
+            if (v < (std::uint64_t{1} << bits))
+                return static_cast<int>(v);
+            const int k = 63 - __builtin_clzll(v);
+            const int shift = k - bits;
+            return static_cast<int>(
+                (static_cast<std::uint64_t>(shift) << bits) +
+                (v >> shift));
         }
 
-        /** Smallest value falling into bucket @p b. */
+        /** Smallest value falling into bucket @p b at @p bits. */
         static std::uint64_t
-        bucketLo(int b)
+        bucketLo(int b, int bits)
         {
-            return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+            const std::uint64_t sub = std::uint64_t{1} << bits;
+            if (b < static_cast<int>(sub))
+                return static_cast<std::uint64_t>(b);
+            const int shift = (b >> bits) - 1;
+            const std::uint64_t offset =
+                static_cast<std::uint64_t>(b) - (static_cast<std::uint64_t>(
+                                                     shift)
+                                                 << bits);
+            return offset << shift;
         }
 
-        /** Largest value falling into bucket @p b. */
+        /** Largest value falling into bucket @p b at @p bits. */
         static std::uint64_t
-        bucketHi(int b)
+        bucketHi(int b, int bits)
         {
-            if (b == 0)
-                return 0;
-            if (b == 64)
+            if (b + 1 >= bucketsFor(bits))
                 return ~std::uint64_t{0};
-            return (std::uint64_t{1} << b) - 1;
+            return bucketLo(b + 1, bits) - 1;
         }
+
+        int bucketOf(std::uint64_t v) const { return bucketOf(v, subBits); }
+        std::uint64_t bucketLo(int b) const { return bucketLo(b, subBits); }
+        std::uint64_t bucketHi(int b) const { return bucketHi(b, subBits); }
 
         std::uint64_t count() const { return cnt; }
         std::uint64_t total() const { return sumVal; }
@@ -133,28 +186,20 @@ class StatsRegistry
         /** Index of the highest non-empty bucket (-1 when empty). */
         int highestBucket() const;
 
+        /**
+         * The value at quantile @p q in [0, 1]: the upper bound of the
+         * bucket holding the ceil(q * count())-th smallest sample,
+         * clamped to the observed max. Relative error vs the true
+         * sample is below 2^-subBucketBits (exact in the linear
+         * region). 0 when empty.
+         */
+        std::uint64_t quantile(double q) const;
+
         /** Fold @p other's samples into this distribution, exactly as
-         *  if every sample had been taken here (campaign merging). */
-        void
-        mergeFrom(const Distribution& other)
-        {
-            if (other.cnt == 0)
-                return;
-            if (cnt == 0) {
-                minVal = other.minVal;
-                maxVal = other.maxVal;
-            } else {
-                if (other.minVal < minVal)
-                    minVal = other.minVal;
-                if (other.maxVal > maxVal)
-                    maxVal = other.maxVal;
-            }
-            cnt += other.cnt;
-            sumVal += other.sumVal;
-            for (int b = 0; b < numBuckets; ++b)
-                bucketCounts[static_cast<size_t>(b)] +=
-                    other.bucketCounts[static_cast<size_t>(b)];
-        }
+         *  if every sample had been taken here (campaign merging).
+         *  An empty destination adopts the source's sub-bucket bits;
+         *  otherwise the resolutions must match. */
+        void mergeFrom(const Distribution& other);
 
         void
         reset()
@@ -163,15 +208,26 @@ class StatsRegistry
             sumVal = 0;
             minVal = 0;
             maxVal = 0;
-            bucketCounts.fill(0);
+            std::fill(bucketCounts.begin(), bucketCounts.end(), 0);
         }
 
       private:
+        static int
+        clampBits(int bits)
+        {
+            if (bits < 0)
+                return 0;
+            if (bits > maxSubBucketBits)
+                return maxSubBucketBits;
+            return bits;
+        }
+
         std::uint64_t cnt = 0;
         std::uint64_t sumVal = 0;
         std::uint64_t minVal = 0;
         std::uint64_t maxVal = 0;
-        std::array<std::uint64_t, numBuckets> bucketCounts{};
+        int subBits = defaultSubBucketBits;
+        std::vector<std::uint64_t> bucketCounts;
     };
 
     /**
@@ -203,8 +259,14 @@ class StatsRegistry
      */
     Counter& counter(const std::string& name);
 
-    /** Register (or look up) a distribution. */
+    /** Register (or look up) a distribution (default resolution). */
     Distribution& distribution(const std::string& name);
+
+    /** Register (or look up) a distribution with an explicit
+     *  sub-bucket-bits resolution. The resolution only applies on
+     *  first registration; a later lookup under a different @p
+     *  sub_bucket_bits returns the existing instance unchanged. */
+    Distribution& distribution(const std::string& name, int sub_bucket_bits);
 
     /**
      * Register a formula @p name = sum(@p num) / sum(@p den).

@@ -21,7 +21,7 @@ namedKernels()
         "specjbb-closed", "specjbb-open",  "specjbb-hybrid",
         "iobench-tx",     "iobench-serialized",
         "condsync-sched", "condsync-poll",
-        "contend",        "fuzz",
+        "contend",        "contend-mixed", "fuzz",
     };
     return names;
 }
@@ -68,6 +68,14 @@ makeNamedKernel(const std::string& name, std::uint64_t fuzz_seed)
     }
     if (name == "contend")
         return std::make_unique<ContentionKernel>();
+    if (name == "contend-mixed") {
+        // One long-holding victim thread among short aggressors: the
+        // two op classes ("long"/"short") split the tail-latency dump
+        // by role.
+        ContentionParams p;
+        p.longThreads = 1;
+        return std::make_unique<ContentionKernel>(p);
+    }
     if (name == "fuzz")
         return std::make_unique<FuzzKernel>(fuzz_seed);
     return nullptr;

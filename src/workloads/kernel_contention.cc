@@ -17,8 +17,11 @@ ContentionKernel::thread(TxThread& t, int tid, int n_threads)
 {
     (void)n_threads;
     const int words = std::min(p.hotWords, 64 / static_cast<int>(wordBytes));
-    const int hold = tid < p.longThreads ? p.holdCycles * p.longFactor
-                                         : p.holdCycles;
+    const bool isLong = tid < p.longThreads;
+    const int hold = isLong ? p.holdCycles * p.longFactor : p.holdCycles;
+    // Long-holding threads and short ones are distinct op classes, so
+    // the dump splits tail latency by victim/aggressor role.
+    t.setOpClass(t.registerOpClass(isLong ? "long" : "short"));
     for (int it = 0; it < p.itersPerThread; ++it) {
         co_await t.atomic([&](TxThread& tx) -> SimTask {
             for (int w = 0; w < words; ++w) {

@@ -49,7 +49,11 @@ class ContentionKernel : public Kernel
     {
     }
 
-    std::string name() const override { return "contend"; }
+    std::string
+    name() const override
+    {
+        return p.longThreads > 0 ? "contend-mixed" : "contend";
+    }
     void init(Machine& m, int n_threads) override;
     SimTask thread(TxThread& t, int tid, int n_threads) override;
     bool verify(Machine& m, int n_threads) override;

@@ -11,6 +11,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -193,6 +195,119 @@ TEST(Campaign, PerJobStatsMergeIsJobsInvariant)
     EXPECT_EQ(seq, run(4));
     EXPECT_EQ(seq, run(13));
     EXPECT_NE(seq.find("\"job.runs\": 20"), std::string::npos);
+}
+
+TEST(Campaign, TelemetryDistributionsCoverEveryMergedJob)
+{
+    // Telemetry goes to the caller-owned registry and never perturbs
+    // the merge: one wall-time and one merge-time sample per merged
+    // job, whatever the worker count.
+    for (int jobs : {1, 4}) {
+        StatsRegistry tel;
+        CampaignOptions opt;
+        opt.jobs = jobs;
+        opt.telemetry = &tel;
+        std::vector<std::size_t> order;
+        const CampaignResult res = runCampaign<int>(
+            16, opt, [](std::size_t i) { return static_cast<int>(i); },
+            [&](std::size_t i, int&& v) {
+                EXPECT_EQ(static_cast<std::size_t>(v), i);
+                order.push_back(i);
+                return true;
+            });
+        EXPECT_FALSE(res.failed);
+        EXPECT_EQ(res.merged, 16u);
+        for (std::size_t i = 0; i < order.size(); ++i)
+            EXPECT_EQ(order[i], i);
+        const auto* wall = tel.findDistribution("campaign.job_wall_us");
+        const auto* merge = tel.findDistribution("campaign.merge_us");
+        ASSERT_NE(wall, nullptr);
+        ASSERT_NE(merge, nullptr);
+        EXPECT_EQ(wall->count(), 16u) << "jobs=" << jobs;
+        EXPECT_EQ(merge->count(), 16u) << "jobs=" << jobs;
+    }
+}
+
+TEST(Campaign, HeartbeatFileIsSchemaVersionedNdjson)
+{
+    const std::string path =
+        testing::TempDir() + "tmsim_campaign_heartbeat_test.ndjson";
+    std::remove(path.c_str());
+    {
+        CampaignOptions opt;
+        opt.jobs = 4;
+        opt.heartbeatFile = path;
+        opt.telemetryIntervalMs = 0; // a record per merge + the final one
+        opt.failures = []() -> std::uint64_t { return 3; };
+        const CampaignResult res = runCampaign<int>(
+            10, opt, [](std::size_t i) { return static_cast<int>(i); },
+            [](std::size_t, int&&) { return true; });
+        EXPECT_FALSE(res.failed);
+        EXPECT_EQ(res.merged, 10u);
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open()) << path;
+    std::string line, last;
+    std::size_t records = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        EXPECT_EQ(
+            line.rfind(
+                "{\"schema\": \"tmsim-campaign-heartbeat\", "
+                "\"schema_version\": 1, ",
+                0),
+            0u)
+            << line;
+        EXPECT_EQ(line.back(), '}') << line;
+        EXPECT_NE(line.find("\"failures\": 3"), std::string::npos);
+        last = line;
+        ++records;
+    }
+    // interval 0 emits at every merge, plus the final record.
+    EXPECT_GE(records, 11u);
+    EXPECT_NE(last.find("\"final\": true"), std::string::npos);
+    EXPECT_NE(last.find("\"jobs_merged\": 10"), std::string::npos);
+    EXPECT_NE(last.find("\"jobs_total\": 10"), std::string::npos);
+    EXPECT_NE(last.find("\"job_wall_us\": {\"samples\": 10,"),
+              std::string::npos);
+    EXPECT_NE(last.find("\"merge_us\": {\"samples\": 10,"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, TelemetryIntervalSuppressesIntermediateRecords)
+{
+    const std::string path =
+        testing::TempDir() + "tmsim_campaign_heartbeat_quiet.ndjson";
+    std::remove(path.c_str());
+    {
+        CampaignOptions opt;
+        opt.jobs = 1;
+        opt.heartbeatFile = path;
+        opt.telemetryIntervalMs = 60 * 1000; // beyond any test runtime
+        const CampaignResult res = runCampaign<int>(
+            8, opt, [](std::size_t i) { return static_cast<int>(i); },
+            [](std::size_t, int&&) { return true; });
+        EXPECT_FALSE(res.failed);
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open()) << path;
+    std::string line;
+    std::size_t records = 0;
+    bool sawFinal = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        ++records;
+        if (line.find("\"final\": true") != std::string::npos)
+            sawFinal = true;
+    }
+    // The first merge emits (lastEmit starts at 0), then the interval
+    // gags everything until the guaranteed final record.
+    EXPECT_LE(records, 2u);
+    EXPECT_TRUE(sawFinal);
+    std::remove(path.c_str());
 }
 
 TEST(LogContext, ScopesNestAndRestore)

@@ -1,14 +1,19 @@
 /**
  * @file
  * StatsRegistry unit tests: counter sum() pattern matching (including
- * the overlap and no-match edge cases), log2 Distribution bucketing,
- * Formula evaluation, and the schema headers of both dump formats.
+ * the overlap and no-match edge cases), log-linear (HDR) Distribution
+ * bucketing and quantile error bounds, Formula evaluation, and the
+ * schema headers of both dump formats.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
+#include <vector>
 
+#include "sim/logging.hh"
 #include "sim/stats.hh"
 
 using namespace tmsim;
@@ -73,37 +78,60 @@ TEST(StatsSum, SameNameReturnsSameCounter)
     EXPECT_EQ(reg.value("shared.name"), 4u);
 }
 
-TEST(Distribution, BucketOfIsLog2Shaped)
+TEST(Distribution, ZeroSubBucketBitsDegeneratesToLog2)
 {
-    EXPECT_EQ(Dist::bucketOf(0), 0);
-    EXPECT_EQ(Dist::bucketOf(1), 1);
-    EXPECT_EQ(Dist::bucketOf(2), 2);
-    EXPECT_EQ(Dist::bucketOf(3), 2);
-    EXPECT_EQ(Dist::bucketOf(4), 3);
-    EXPECT_EQ(Dist::bucketOf(7), 3);
-    EXPECT_EQ(Dist::bucketOf(8), 4);
-    EXPECT_EQ(Dist::bucketOf(1023), 10);
-    EXPECT_EQ(Dist::bucketOf(1024), 11);
-    EXPECT_EQ(Dist::bucketOf(~std::uint64_t{0}), 64);
+    // S = 0 is exactly the schema-v2 log2 layout: bucket 0 holds {0},
+    // bucket b >= 1 holds [2^(b-1), 2^b - 1].
+    EXPECT_EQ(Dist::bucketsFor(0), 65);
+    EXPECT_EQ(Dist::bucketOf(0, 0), 0);
+    EXPECT_EQ(Dist::bucketOf(1, 0), 1);
+    EXPECT_EQ(Dist::bucketOf(3, 0), 2);
+    EXPECT_EQ(Dist::bucketOf(1023, 0), 10);
+    EXPECT_EQ(Dist::bucketOf(1024, 0), 11);
+    EXPECT_EQ(Dist::bucketOf(~std::uint64_t{0}, 0), 64);
+    EXPECT_EQ(Dist::bucketHi(64, 0), ~std::uint64_t{0});
 }
 
-TEST(Distribution, BucketBoundsTileTheFullRange)
+TEST(Distribution, LinearRegionIsExactAtDefaultBits)
 {
-    EXPECT_EQ(Dist::bucketLo(0), 0u);
-    EXPECT_EQ(Dist::bucketHi(0), 0u);
-    for (int b = 1; b < Dist::numBuckets; ++b) {
-        EXPECT_EQ(Dist::bucketLo(b), Dist::bucketHi(b - 1) + 1)
-            << "gap at bucket " << b;
-        EXPECT_EQ(Dist::bucketOf(Dist::bucketLo(b)), b);
-        EXPECT_EQ(Dist::bucketOf(Dist::bucketHi(b)), b);
+    // With S = 4, every value below 16 has its own unit bucket and
+    // each log2 magnitude above splits into 16 sub-buckets.
+    for (std::uint64_t v = 0; v < 16; ++v) {
+        EXPECT_EQ(Dist::bucketOf(v, 4), static_cast<int>(v));
+        EXPECT_EQ(Dist::bucketLo(static_cast<int>(v), 4), v);
+        EXPECT_EQ(Dist::bucketHi(static_cast<int>(v), 4), v);
     }
-    EXPECT_EQ(Dist::bucketHi(64), ~std::uint64_t{0});
+    // [16, 32) is still unit-width (magnitude 4, width 2^0)...
+    EXPECT_EQ(Dist::bucketOf(16, 4), 16);
+    EXPECT_EQ(Dist::bucketOf(31, 4), 31);
+    // ...and [32, 64) has width-2 sub-buckets: {32,33} share one.
+    EXPECT_EQ(Dist::bucketOf(32, 4), Dist::bucketOf(33, 4));
+    EXPECT_NE(Dist::bucketOf(33, 4), Dist::bucketOf(34, 4));
+}
+
+TEST(Distribution, BucketBoundsTileTheFullRangeAtEveryBits)
+{
+    for (int bits = 0; bits <= Dist::maxSubBucketBits; ++bits) {
+        const int n = Dist::bucketsFor(bits);
+        EXPECT_EQ(Dist::bucketLo(0, bits), 0u);
+        for (int b = 1; b < n; ++b) {
+            ASSERT_EQ(Dist::bucketLo(b, bits),
+                      Dist::bucketHi(b - 1, bits) + 1)
+                << "gap at bucket " << b << " bits " << bits;
+            ASSERT_EQ(Dist::bucketOf(Dist::bucketLo(b, bits), bits), b)
+                << "lo misindexed at bucket " << b << " bits " << bits;
+            ASSERT_EQ(Dist::bucketOf(Dist::bucketHi(b, bits), bits), b)
+                << "hi misindexed at bucket " << b << " bits " << bits;
+        }
+        EXPECT_EQ(Dist::bucketHi(n - 1, bits), ~std::uint64_t{0});
+    }
 }
 
 TEST(Distribution, SampleTracksCountMinMaxMeanAndBuckets)
 {
     StatsRegistry reg;
     Dist& d = reg.distribution("d");
+    EXPECT_EQ(d.subBucketBits(), Dist::defaultSubBucketBits);
     EXPECT_EQ(d.count(), 0u);
     EXPECT_EQ(d.min(), 0u);
     EXPECT_EQ(d.max(), 0u);
@@ -119,18 +147,165 @@ TEST(Distribution, SampleTracksCountMinMaxMeanAndBuckets)
     EXPECT_DOUBLE_EQ(d.mean(), 107.0 / 5.0);
     EXPECT_EQ(d.bucketCount(0), 1u); // {0}
     EXPECT_EQ(d.bucketCount(1), 1u); // {1}
-    EXPECT_EQ(d.bucketCount(2), 2u); // {2,3}
-    EXPECT_EQ(d.bucketCount(7), 1u); // [64,127]
-    EXPECT_EQ(d.highestBucket(), 7);
+    EXPECT_EQ(d.bucketCount(3), 2u); // {3} (exact linear region)
+    EXPECT_EQ(d.bucketCount(d.bucketOf(100)), 1u);
+    EXPECT_EQ(d.highestBucket(), d.bucketOf(100));
 
     std::uint64_t bucketSum = 0;
-    for (int b = 0; b < Dist::numBuckets; ++b)
+    for (int b = 0; b < d.numBuckets(); ++b)
         bucketSum += d.bucketCount(b);
     EXPECT_EQ(bucketSum, d.count());
 
     d.reset();
     EXPECT_EQ(d.count(), 0u);
     EXPECT_EQ(d.highestBucket(), -1);
+}
+
+namespace {
+
+/** Deterministic 64-bit value stream (splitmix64). */
+std::uint64_t
+mix64(std::uint64_t& state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Exact quantile by sorting: the ceil(q*n)-th smallest sample. */
+std::uint64_t
+exactQuantile(std::vector<std::uint64_t> v, double q)
+{
+    std::sort(v.begin(), v.end());
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(v.size())));
+    if (rank < 1)
+        rank = 1;
+    return v[rank - 1];
+}
+
+} // namespace
+
+TEST(DistributionQuantile, ErrorBoundedAtEverySubBucketBits)
+{
+    // est >= exact and (est - exact) <= exact * 2^-S: the documented
+    // bound, checked against sorted ground truth over a wide dynamic
+    // range at every supported resolution.
+    const double qs[] = {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0};
+    for (int bits = 0; bits <= Dist::maxSubBucketBits; ++bits) {
+        Dist d(bits);
+        std::vector<std::uint64_t> samples;
+        std::uint64_t state = 12345;
+        for (int i = 0; i < 4000; ++i) {
+            // Spread across magnitudes: shift a 64-bit draw right by
+            // a varying amount so small and huge values both appear.
+            const std::uint64_t v = mix64(state) >> (mix64(state) % 64);
+            samples.push_back(v);
+            d.sample(v);
+        }
+        for (double q : qs) {
+            const std::uint64_t exact = exactQuantile(samples, q);
+            const std::uint64_t est = d.quantile(q);
+            ASSERT_GE(est, exact) << "bits " << bits << " q " << q;
+            const double err = static_cast<double>(est - exact);
+            const double bound =
+                static_cast<double>(exact) / static_cast<double>(1 << bits);
+            ASSERT_LE(err, bound) << "bits " << bits << " q " << q
+                                  << " exact " << exact << " est " << est;
+        }
+    }
+}
+
+TEST(DistributionQuantile, DefaultBitsMeetTheSixPointTwoFivePercentBound)
+{
+    // The acceptance-criterion form of the bound: at the default
+    // resolution the relative error never exceeds 6.25%.
+    Dist d;
+    std::vector<std::uint64_t> samples;
+    std::uint64_t state = 99;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = mix64(state) % 1000000;
+        samples.push_back(v);
+        d.sample(v);
+    }
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        const std::uint64_t exact = exactQuantile(samples, q);
+        const std::uint64_t est = d.quantile(q);
+        ASSERT_GE(est, exact);
+        ASSERT_LE(static_cast<double>(est - exact),
+                  0.0625 * static_cast<double>(exact))
+            << "q " << q;
+    }
+}
+
+TEST(DistributionQuantile, EdgeCases)
+{
+    Dist d;
+    EXPECT_EQ(d.quantile(0.5), 0u); // empty
+
+    d.sample(7);
+    EXPECT_EQ(d.quantile(0.0), 7u);
+    EXPECT_EQ(d.quantile(0.5), 7u);
+    EXPECT_EQ(d.quantile(1.0), 7u);
+
+    // Quantiles clamp to the observed max, never a bucket bound
+    // beyond it.
+    Dist e;
+    e.sample(1000);
+    EXPECT_EQ(e.quantile(1.0), 1000u);
+    EXPECT_EQ(e.quantile(0.999), 1000u);
+}
+
+TEST(DistributionQuantile, MergeIsExactAndOrderInvariant)
+{
+    // Folding per-job histograms must reproduce the single-histogram
+    // bucket counts exactly, so merged quantiles are byte-identical
+    // regardless of how samples were split across jobs.
+    Dist whole;
+    Dist parts[4];
+    std::uint64_t state = 777;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = mix64(state) % 100000;
+        whole.sample(v);
+        parts[i % 4].sample(v);
+    }
+    Dist fwd, rev;
+    for (int p = 0; p < 4; ++p)
+        fwd.mergeFrom(parts[p]);
+    for (int p = 3; p >= 0; --p)
+        rev.mergeFrom(parts[p]);
+    for (double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        EXPECT_EQ(fwd.quantile(q), whole.quantile(q)) << "q " << q;
+        EXPECT_EQ(rev.quantile(q), whole.quantile(q)) << "q " << q;
+    }
+    EXPECT_EQ(fwd.count(), whole.count());
+    EXPECT_EQ(fwd.total(), whole.total());
+}
+
+TEST(DistributionMerge, EmptyDestinationAdoptsSourceResolution)
+{
+    Dist dst(2);
+    Dist src(6);
+    src.sample(1234);
+    dst.mergeFrom(src);
+    EXPECT_EQ(dst.subBucketBits(), 6);
+    EXPECT_EQ(dst.count(), 1u);
+    EXPECT_EQ(dst.quantile(1.0), src.quantile(1.0));
+}
+
+TEST(DistributionMerge, MismatchedResolutionsAreFatal)
+{
+    Dist dst(2);
+    dst.sample(5);
+    Dist src(6);
+    src.sample(9);
+    LogContext ctx;
+    ctx.throwOnFatal = true;
+    ctx.quiet = true;
+    LogScope scope(ctx);
+    EXPECT_THROW(dst.mergeFrom(src), FatalError);
 }
 
 TEST(Formula, EvaluatesLazilyAgainstCurrentCounters)
@@ -160,11 +335,14 @@ TEST(Dump, TextDumpLeadsWithSchemaHeader)
     std::ostringstream os;
     reg.dump(os);
     const std::string text = os.str();
-    EXPECT_EQ(text.rfind("# tmsim-stats schema 2\n", 0), 0u)
+    EXPECT_EQ(text.rfind("# tmsim-stats schema 3\n", 0), 0u)
         << "dump must lead with the schema header, got: " << text;
     EXPECT_NE(text.find("a.b 2\n"), std::string::npos);
     EXPECT_NE(text.find("lat::samples 1\n"), std::string::npos);
-    EXPECT_NE(text.find("lat::bucket[4,7] 1\n"), std::string::npos);
+    EXPECT_NE(text.find("lat::p50 5\n"), std::string::npos);
+    EXPECT_NE(text.find("lat::p99 5\n"), std::string::npos);
+    EXPECT_NE(text.find("lat::p999 5\n"), std::string::npos);
+    EXPECT_NE(text.find("lat::bucket[5,5] 1\n"), std::string::npos);
     EXPECT_NE(text.find("ratio 1\n"), std::string::npos);
 }
 
@@ -178,10 +356,13 @@ TEST(Dump, JsonDumpCarriesSchemaAndAllThreeKinds)
     reg.dumpJson(os);
     const std::string json = os.str();
     EXPECT_NE(json.find("\"schema\": \"tmsim-stats\""), std::string::npos);
-    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"a.b\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"samples\": 1"), std::string::npos);
-    EXPECT_NE(json.find("{\"lo\": 4, \"hi\": 7, \"count\": 1}"),
+    EXPECT_NE(json.find("\"p50\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"p999\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"sub_bucket_bits\": 4"), std::string::npos);
+    EXPECT_NE(json.find("{\"lo\": 5, \"hi\": 5, \"count\": 1}"),
               std::string::npos);
     EXPECT_NE(json.find("\"numerator\": \"a.b\""), std::string::npos);
 }

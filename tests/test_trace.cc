@@ -16,6 +16,7 @@
 #include "core/machine.hh"
 #include "runtime/tx_thread.hh"
 #include "sim/trace.hh"
+#include "workloads/harness.hh"
 
 using namespace tmsim;
 
@@ -155,6 +156,48 @@ TEST(Trace, DistributionSamplesMatchScalarCounters)
     EXPECT_EQ(s.sum("cpu*.bus.busy_cycles"), s.value("bus.busy_cycles"));
     EXPECT_EQ(s.value("sim.ticks"), static_cast<std::uint64_t>(m.now()));
     EXPECT_GT(s.formulaValue("htm.commit_rate"), 0.0);
+}
+
+TEST(Trace, OpClassDistributionsPartitionTheTotals)
+{
+    // contend-mixed tags every outermost transaction "long" or
+    // "short", so the per-class histograms must partition the
+    // chip-wide commit-duration and restart-latency histograms
+    // sample-for-sample (and cycle-for-cycle).
+    auto kernel = makeNamedKernel("contend-mixed", 1);
+    ASSERT_NE(kernel, nullptr);
+    StatsRegistry s;
+    RunResult r =
+        runKernel(*kernel, HtmConfig::paperLazy(), 4, 8 << 20, &s);
+    EXPECT_TRUE(r.verified);
+
+    const auto* durAll = s.findDistribution("htm.tx_duration_committed");
+    const auto* durLong =
+        s.findDistribution("htm.tx_duration_committed.long");
+    const auto* durShort =
+        s.findDistribution("htm.tx_duration_committed.short");
+    ASSERT_NE(durAll, nullptr);
+    ASSERT_NE(durLong, nullptr);
+    ASSERT_NE(durShort, nullptr);
+    EXPECT_GT(durLong->count(), 0u);
+    EXPECT_GT(durShort->count(), 0u);
+    EXPECT_EQ(durLong->count() + durShort->count(), durAll->count());
+    EXPECT_EQ(durLong->total() + durShort->total(), durAll->total());
+
+    const auto* vrAll = s.findDistribution("htm.violation_to_restart");
+    const auto* vrLong =
+        s.findDistribution("htm.violation_to_restart.long");
+    const auto* vrShort =
+        s.findDistribution("htm.violation_to_restart.short");
+    ASSERT_NE(vrAll, nullptr);
+    ASSERT_NE(vrLong, nullptr);
+    ASSERT_NE(vrShort, nullptr);
+    EXPECT_EQ(vrLong->count() + vrShort->count(), vrAll->count());
+    EXPECT_EQ(vrLong->total() + vrShort->total(), vrAll->total());
+
+    // The quantile keys the ROADMAP asks for are reportable per class.
+    EXPECT_GE(durLong->quantile(0.99), durLong->quantile(0.5));
+    EXPECT_GE(durShort->quantile(0.99), durShort->quantile(0.5));
 }
 
 TEST(Trace, BufferCapacityDropsInsteadOfGrowing)

@@ -1,0 +1,76 @@
+# Bench-trend smoke test (ctest: bench_trend_smoke).
+# Exercises the perf-trend gate end to end against a scratch trend
+# file: collecting the repo's BENCH_* headline metrics must produce a
+# parseable NDJSON trend that passes `check`; appending a deliberate
+# 2x regression must make `check` exit nonzero and name the metric.
+
+find_package(Python3 COMPONENTS Interpreter REQUIRED)
+
+set(trend "${WORK_DIR}/bench_trend_smoke.ndjson")
+file(REMOVE ${trend})
+
+set(ENV{TMSIM_TREND_FILE} ${trend})
+
+# 1. Collect the checked-in headline metrics into a fresh trend file.
+execute_process(
+    COMMAND ${Python3_EXECUTABLE} ${BENCH_TREND} --trend ${trend} collect
+            --repo-root ${REPO_ROOT}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_trend collect failed:\n${out}${err}")
+endif()
+
+# 2. Every line of the trend file must be a self-describing v1 record.
+file(STRINGS ${trend} lines)
+list(LENGTH lines nlines)
+if(nlines LESS 1)
+    message(FATAL_ERROR "bench_trend collect wrote no records")
+endif()
+foreach(line IN LISTS lines)
+    if(NOT line MATCHES "\"schema\": \"tmsim-bench-trend\"")
+        message(FATAL_ERROR "trend record missing schema: ${line}")
+    endif()
+    if(NOT line MATCHES "\"schema_version\": 1")
+        message(FATAL_ERROR "trend record missing version: ${line}")
+    endif()
+endforeach()
+
+# 3. The known-good snapshot must pass the gate.
+execute_process(
+    COMMAND ${Python3_EXECUTABLE} ${BENCH_TREND} --trend ${trend} check
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "bench_trend check rejected the known-good trend:\n"
+            "${out}${err}")
+endif()
+
+# 4. Inject a 2x slowdown on the perf_smoke metric; the gate must trip.
+execute_process(
+    COMMAND ${Python3_EXECUTABLE} ${BENCH_TREND} --trend ${trend} record
+            --metric fuzz200_ms --value 1400 --unit ms
+            --direction lower --source bench_trend_smoke
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_trend record failed:\n${out}${err}")
+endif()
+execute_process(
+    COMMAND ${Python3_EXECUTABLE} ${BENCH_TREND} --trend ${trend} check
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "bench_trend check accepted a 2x regression:\n${out}${err}")
+endif()
+if(NOT "${out}${err}" MATCHES "fuzz200_ms")
+    message(FATAL_ERROR
+            "regression report does not name the metric:\n${out}${err}")
+endif()
+
+# 5. Appending never rewrote history: the known-good prefix is intact.
+file(STRINGS ${trend} after)
+list(LENGTH after nafter)
+math(EXPR expect "${nlines} + 1")
+if(NOT nafter EQUAL ${expect})
+    message(FATAL_ERROR
+            "trend file not append-only: ${nlines} -> ${nafter} lines")
+endif()

@@ -23,12 +23,45 @@ endforeach()
 
 file(READ ${seq} seqText)
 file(READ ${par} parText)
-if(NOT seqText STREQUAL parText)
+
+# Schema v2 carries exactly two host-time (hence nondeterministic)
+# additions: per-cell "wall_us" lines and the top-level "campaign"
+# section. Strip those, then require byte identity on everything else.
+function(strip_host_time in out)
+    string(REGEX REPLACE "\n *\"wall_us\": [0-9]+," "" txt "${in}")
+    string(REGEX REPLACE
+           "\n  \"campaign\": {[^}]*\"job_wall_us\": {[^}]*},[^}]*\"merge_us\": {[^}]*}\n  },"
+           "" txt "${txt}")
+    set(${out} "${txt}" PARENT_SCOPE)
+endfunction()
+
+strip_host_time("${seqText}" seqStripped)
+strip_host_time("${parText}" parStripped)
+
+if(NOT seqStripped STREQUAL parStripped)
     message(FATAL_ERROR
-            "sweep documents differ between --jobs 1 and --jobs 4")
+            "sweep documents differ between --jobs 1 and --jobs 4 "
+            "beyond the declared host-time fields")
+endif()
+if(seqStripped STREQUAL seqText)
+    message(FATAL_ERROR
+            "strip_host_time removed nothing: wall_us/campaign fields "
+            "missing or the stripper regressed")
 endif()
 if(NOT seqText MATCHES "\"schema\": \"tmsim-sweep\"")
     message(FATAL_ERROR "sweep JSON missing schema header")
+endif()
+if(NOT seqText MATCHES "\"schema_version\": 2")
+    message(FATAL_ERROR "sweep JSON not schema v2")
+endif()
+if(NOT seqText MATCHES "\"wall_us\": [0-9]")
+    message(FATAL_ERROR "sweep cells missing wall_us")
+endif()
+if(NOT seqText MATCHES "\"campaign\": {")
+    message(FATAL_ERROR "sweep JSON missing campaign telemetry section")
+endif()
+if(NOT seqText MATCHES "\"job_wall_us\": {\"samples\": [1-9]")
+    message(FATAL_ERROR "campaign job_wall_us has no samples")
 endif()
 if(NOT seqText MATCHES "\"all_verified\": true")
     message(FATAL_ERROR "sweep reported a verification failure")

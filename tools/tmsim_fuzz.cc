@@ -64,6 +64,14 @@ usage()
         "overrides replays\n"
         "  --selftest-inject  verify the pipeline catches an injected "
         "bug\n"
+        "  --progress         live progress line on stderr (merged/"
+        "total,\n"
+        "                     failures, seeds/s, ETA)\n"
+        "  --heartbeat FILE   stream NDJSON heartbeat records (see "
+        "STATS.md);\n"
+        "                     the final record summarises per-seed "
+        "wall and\n"
+        "                     merge time distributions\n"
         "  --quiet            suppress simulator log output\n");
 }
 
@@ -168,6 +176,8 @@ main(int argc, char** argv)
     bool expectFail = false;
     bool selftest = false;
     bool quiet = false;
+    bool progress = false;
+    std::string heartbeatFile;
     bool forcePolicy = false;
     ContentionPolicy policy = ContentionPolicy::Requester;
 
@@ -205,6 +215,10 @@ main(int argc, char** argv)
             forcePolicy = true;
         } else if (arg == "--selftest-inject") {
             selftest = true;
+        } else if (arg == "--progress") {
+            progress = true;
+        } else if (arg == "--heartbeat") {
+            heartbeatFile = next();
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -265,6 +279,13 @@ main(int argc, char** argv)
     CampaignOptions opt;
     opt.jobs = jobs;
     opt.quiet = quiet;
+    // Telemetry goes to stderr / the heartbeat file only; the merged
+    // registry stays wall-clock-free so --jobs N output is identical.
+    opt.progress = progress;
+    opt.heartbeatFile = heartbeatFile;
+    opt.failures = [&]() -> std::uint64_t {
+        return static_cast<std::uint64_t>(failures);
+    };
     const CampaignResult cres = runCampaign<SeedResult>(
         static_cast<std::size_t>(seeds), opt,
         [&](std::size_t i) {

@@ -13,6 +13,7 @@
  *   tmsim_sweep --kernel contend --configs lazy-wb,eager-undolog
  */
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -29,8 +30,31 @@ using namespace tmsim;
 
 namespace {
 
-/** Bumped whenever the merged sweep document changes shape. */
-constexpr int sweepSchemaVersion = 1;
+/** Bumped whenever the merged sweep document changes shape.
+ *  v2: per-cell "wall_us" (host wall time of the cell's simulation)
+ *  and a top-level "campaign" section with the merged campaign.*
+ *  telemetry, so a sweep document is self-describing about its own
+ *  cost. Both are host-time measurements and therefore the only
+ *  nondeterministic fields in the document; sweep_smoke strips them
+ *  before comparing --jobs 1 against --jobs 4. */
+constexpr int sweepSchemaVersion = 2;
+
+/** One-line JSON summary of an HDR distribution (host-time fields). */
+std::string
+distSummary(const StatsRegistry::Distribution& d)
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"samples\": %llu, \"mean\": %.3f, \"p50\": %llu, "
+        "\"p90\": %llu, \"p99\": %llu, \"max\": %llu}",
+        static_cast<unsigned long long>(d.count()), d.mean(),
+        static_cast<unsigned long long>(d.quantile(0.50)),
+        static_cast<unsigned long long>(d.quantile(0.90)),
+        static_cast<unsigned long long>(d.quantile(0.99)),
+        static_cast<unsigned long long>(d.max()));
+    return buf;
+}
 
 struct SweepConfig
 {
@@ -187,6 +211,7 @@ main(int argc, char** argv)
     {
         RunResult r;
         std::string statsJson;
+        std::uint64_t wallUs = 0;
     };
 
     std::ostringstream doc;
@@ -197,9 +222,11 @@ main(int argc, char** argv)
     doc << "  \"runs\": [\n";
 
     bool allVerified = true;
+    StatsRegistry telemetry;
     CampaignOptions opt;
     opt.jobs = jobs;
     opt.quiet = quiet;
+    opt.telemetry = &telemetry;
     const CampaignResult cres = runCampaign<CellResult>(
         grid.size(), opt,
         [&](std::size_t i) {
@@ -211,8 +238,13 @@ main(int argc, char** argv)
             auto kernel = makeNamedKernel(kernelName, fuzzSeed);
             CellResult res;
             StatsRegistry stats;
+            const auto t0 = std::chrono::steady_clock::now();
             res.r = runKernel(*kernel, htm, cell.cpus,
                               64ull * 1024 * 1024, &stats);
+            res.wallUs = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
             std::ostringstream ss;
             stats.dumpJson(ss);
             res.statsJson = ss.str();
@@ -248,6 +280,9 @@ main(int argc, char** argv)
                 << "      \"rollbacks\": " << res.r.rollbacks << ",\n"
                 << "      \"verified\": "
                 << (res.r.verified ? "true" : "false") << ",\n"
+                // Host time; the one nondeterministic per-cell field
+                // (kept on its own line so sweep_smoke can strip it).
+                << "      \"wall_us\": " << res.wallUs << ",\n"
                 << "      \"stats\": " << indented.str() << "\n"
                 << "    }" << (i + 1 < grid.size() ? "," : "") << "\n";
             return true;
@@ -260,6 +295,18 @@ main(int argc, char** argv)
     }
 
     doc << "  ],\n";
+    // Merged campaign telemetry: what this sweep cost the host. Each
+    // sub-object is emitted on one line so sweep_smoke can strip the
+    // section before its determinism compare.
+    doc << "  \"campaign\": {\n";
+    doc << "    \"jobs\": " << jobs << ",\n";
+    doc << "    \"job_wall_us\": "
+        << distSummary(telemetry.distribution("campaign.job_wall_us"))
+        << ",\n";
+    doc << "    \"merge_us\": "
+        << distSummary(telemetry.distribution("campaign.merge_us"))
+        << "\n";
+    doc << "  },\n";
     doc << "  \"all_verified\": " << (allVerified ? "true" : "false")
         << "\n";
     doc << "}\n";

@@ -10,6 +10,14 @@
  *
  * Reports:
  *  - top conflicting addresses (violation_raised counts per address);
+ *  - a conflict heatmap: for the top contended addresses, violations
+ *    broken down by attacker CPU, plus the outermost rolled-back
+ *    cycles attributed to each address (a rollback's wasted cycles
+ *    are charged to the address of the last violation the victim CPU
+ *    saw before the slice ended);
+ *  - outermost transaction duration percentiles (p50/p90/p99, exact —
+ *    computed from the raw slice durations, so they cross-check the
+ *    simulator's bounded-error HDR `::p99` keys);
  *  - per-CPU cycle attribution: useful (committed outermost tx work),
  *    wasted (rolled-back outermost tx work), commit (post-validation
  *    commit phase of committed transactions), backoff (retry backoff
@@ -24,6 +32,7 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -74,7 +83,46 @@ struct CpuState
     u64 commit = 0;
     u64 backoff = 0;
     int chain = 0; // consecutive outermost rollbacks so far
+    std::string lastVioAddr; // most recent violation on this CPU
 };
+
+/** Exact q-quantile of an (unsorted) sample vector: the
+ *  ceil(q*n)-th smallest, matching Distribution::quantile's rank. */
+u64
+exactQuantile(std::vector<u64>& v, double q)
+{
+    if (v.empty())
+        return 0;
+    std::sort(v.begin(), v.end());
+    size_t rank = static_cast<size_t>(
+        std::max(1.0, std::ceil(q * static_cast<double>(v.size()))));
+    if (rank > v.size())
+        rank = v.size();
+    return v[rank - 1];
+}
+
+void
+printDurationLine(const char* label, std::vector<u64> v)
+{
+    if (v.empty()) {
+        std::printf("  %-12s (none)\n", label);
+        return;
+    }
+    u64 sum = 0;
+    for (u64 x : v)
+        sum += x;
+    const u64 p50 = exactQuantile(v, 0.50);
+    const u64 p90 = exactQuantile(v, 0.90);
+    const u64 p99 = exactQuantile(v, 0.99);
+    std::printf("  %-12s n=%zu mean=%.1f ::p50 %llu ::p90 %llu "
+                "::p99 %llu max=%llu\n",
+                label, v.size(),
+                static_cast<double>(sum) / static_cast<double>(v.size()),
+                static_cast<unsigned long long>(p50),
+                static_cast<unsigned long long>(p90),
+                static_cast<unsigned long long>(p99),
+                static_cast<unsigned long long>(v.back()));
+}
 
 struct Options
 {
@@ -136,6 +184,9 @@ main(int argc, char** argv)
     i64 cpus = 0, dropped = 0, schemaVersion = -1;
     std::vector<CpuState> cpu;
     std::map<std::string, u64> conflictAddr;
+    std::map<std::string, std::map<i64, u64>> heat; // addr x attacker
+    std::map<std::string, u64> abortCycles;         // addr -> cycles
+    std::vector<u64> committedDur, rolledDur;
     std::map<int, u64> chainHist;
     int errors = 0;
     auto fail = [&](const char* fmt, auto... args) {
@@ -201,19 +252,26 @@ main(int argc, char** argv)
                 } else {
                     c.useful += ts - begin;
                 }
+                committedDur.push_back(ts - begin);
                 if (c.chain > 0)
                     ++chainHist[c.chain];
                 c.chain = 0;
             } else {
                 c.wasted += ts - begin;
+                rolledDur.push_back(ts - begin);
+                if (!c.lastVioAddr.empty())
+                    abortCycles[c.lastVioAddr] += ts - begin;
                 if (outcome == "rollback" || outcome == "abort")
                     ++c.chain;
             }
         } else if (ph == 'i') {
             if (name == "violation_raised") {
                 std::string addr = findStr(line, "addr");
-                if (!addr.empty())
+                if (!addr.empty()) {
                     ++conflictAddr[addr];
+                    ++heat[addr][findNum(line, "attacker")];
+                    c.lastVioAddr = addr;
+                }
             } else if (name == "validated" &&
                        c.sliceBegin.size() == 1 &&
                        findNum(line, "depth") == 1) {
@@ -262,6 +320,45 @@ main(int argc, char** argv)
          i < byCount.size() && i < static_cast<size_t>(opt.top); ++i)
         std::printf("  %-18s %llu\n", byCount[i].first.c_str(),
                     static_cast<unsigned long long>(byCount[i].second));
+
+    // Heatmap: rows are the same top addresses, columns the attacker
+    // CPU that raised each violation; the abort_cyc column charges
+    // every outermost rollback's wasted cycles to the address of the
+    // last violation its victim CPU saw.
+    std::printf("\nconflict heatmap "
+                "(violations by attacker cpu; abort cycles by address):\n");
+    if (byCount.empty()) {
+        std::printf("  (none)\n");
+    } else {
+        const size_t ncols =
+            cpu.size() ? cpu.size()
+                       : static_cast<size_t>(cpus > 0 ? cpus : 0);
+        std::printf("  %-18s %10s", "address", "abort_cyc");
+        for (size_t a = 0; a < ncols; ++a)
+            std::printf(" %6s%zu", "cpu", a);
+        std::printf("\n");
+        for (size_t i = 0;
+             i < byCount.size() && i < static_cast<size_t>(opt.top);
+             ++i) {
+            const std::string& addr = byCount[i].first;
+            auto ac = abortCycles.find(addr);
+            std::printf("  %-18s %10llu", addr.c_str(),
+                        static_cast<unsigned long long>(
+                            ac == abortCycles.end() ? 0 : ac->second));
+            const auto& row = heat[addr];
+            for (size_t a = 0; a < ncols; ++a) {
+                auto it = row.find(static_cast<i64>(a));
+                std::printf(" %7llu",
+                            static_cast<unsigned long long>(
+                                it == row.end() ? 0 : it->second));
+            }
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\noutermost tx durations (cycles, exact quantiles):\n");
+    printDurationLine("committed", std::move(committedDur));
+    printDurationLine("rolled-back", std::move(rolledDur));
 
     std::printf("\nper-cpu cycle attribution:\n");
     std::printf("  %-5s %12s %12s %12s %12s %12s %12s\n", "cpu", "useful",
