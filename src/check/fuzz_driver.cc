@@ -15,6 +15,9 @@ fuzzConfigs(const FuzzProgram& program)
     base.policy = program.olderWins ? ConflictPolicy::OlderWins
                                     : ConflictPolicy::RequesterWins;
     base.contention = program.contention;
+    base.rsetCap = program.rsetCap;
+    base.wsetCap = program.wsetCap;
+    base.capacityMode = program.capacityMode;
 
     std::vector<FuzzConfig> out;
     {

@@ -131,6 +131,11 @@ FuzzProgram::serialize() const
     os << "word-granularity " << (wordGranularity ? 1 : 0) << "\n";
     os << "older-wins " << (olderWins ? 1 : 0) << "\n";
     os << "contention " << contentionPolicyName(contention) << "\n";
+    // Only emitted when bounded, so unbounded replay files stay
+    // byte-identical to the pre-capacity format.
+    if (rsetCap > 0 || wsetCap > 0)
+        os << "capacity " << rsetCap << " " << wsetCap << " "
+           << capacityModeName(capacityMode) << "\n";
     os << "inject " << injectHiddenStoreAfter << "\n";
     os << "txs " << txs.size() << "\n";
     for (size_t i = 0; i < txs.size(); ++i) {
@@ -197,6 +202,23 @@ FuzzProgram::parse(const std::string& text, FuzzProgram& out,
         if (!ls.fail() && k == "contention") {
             if (!contentionPolicyFromName(v, p.contention))
                 return fail(err, "bad contention policy: " + line);
+            if (!std::getline(is, line))
+                return fail(err, "missing inject");
+        }
+    }
+    // Optional capacity line (absent in unbounded replay files).
+    {
+        std::istringstream ls(line);
+        std::string k, mode;
+        int rcap = 0, wcap = 0;
+        ls >> k >> rcap >> wcap >> mode;
+        if (!ls.fail() && k == "capacity") {
+            if (rcap < 0 || wcap < 0 || rcap > 100000 || wcap > 100000)
+                return fail(err, "bad capacity bounds: " + line);
+            if (!capacityModeFromName(mode, p.capacityMode))
+                return fail(err, "bad capacity mode: " + line);
+            p.rsetCap = rcap;
+            p.wsetCap = wcap;
             if (!std::getline(is, line))
                 return fail(err, "missing inject");
         }

@@ -130,6 +130,15 @@ struct FuzzProgram
      *  serializability verdict; the fuzzer checks exactly that. */
     ContentionPolicy contention = ContentionPolicy::Requester;
 
+    /** Capacity bounds applied to every differential base config
+     *  (0 = unbounded). Capacity aborts are just another restart
+     *  reason; the oracle's serializability verdict must not change.
+     *  Not drawn by generateProgram — forced via the tmsim_fuzz CLI —
+     *  but carried here so shrink/replay preserve the configuration. */
+    int rsetCap = 0;
+    int wsetCap = 0;
+    CapacityMode capacityMode = CapacityMode::Abort;
+
     /** Bug-injection self-test: thread 0 performs one deliberately
      *  unrecorded store to Shared slot 0 after its Nth top-level op
      *  (-1 = disabled). The oracle must flag the run. */

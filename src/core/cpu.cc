@@ -30,6 +30,8 @@ Cpu::Cpu(CpuId id_, const HtmConfig& htm_cfg, const CacheGeometry& l1_geom,
       statOuterCommits(
           stats.counter(strfmt("cpu%d.htm.outer_commits", id_))),
       statRestarts(stats.counter(strfmt("cpu%d.htm.restarts", id_))),
+      statCapacityRestarts(
+          stats.counter(strfmt("cpu%d.htm.capacity_restarts", id_))),
       statWastedCycles(
           stats.counter(strfmt("cpu%d.htm.wasted_cycles", id_))),
       statBusBusy(stats.counter(strfmt("cpu%d.bus.busy_cycles", id_))),
@@ -160,6 +162,13 @@ Cpu::rawRollback(int target_level)
         }
     }
     ctx.rollbackTo(target_level);
+    // Attribute the restart reason: a rollback consuming a capacity
+    // abort is counted separately and latched for the runtime's retry
+    // loop (capacity restarts skip backoff — the retried attempt runs
+    // virtualised, so waiting buys nothing).
+    lastRollbackCapacity = ctx.takeCapacityRestart();
+    if (lastRollbackCapacity)
+        ++statCapacityRestarts;
     restartPending = true;
     restartFromTick = eq.curTick();
     // Re-enable reporting and promote anything that arrived while the

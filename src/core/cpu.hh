@@ -153,6 +153,14 @@ class Cpu
      *  computations inside workloads). */
     SimTask poll();
 
+    /** Restart reason of the last rawRollback: true when it was caused
+     *  by a capacity abort (bounded read/write-set caps, or a
+     *  transactional-line eviction in CapacityMode::Abort). The
+     *  runtime's retry loop consults this to skip backoff — waiting
+     *  cannot shrink a footprint, and the restarted attempt already
+     *  runs virtualised. */
+    bool lastRollbackWasCapacity() const { return lastRollbackCapacity; }
+
     // --- op-class tagging (per-class tail latency) ---
 
     /**
@@ -218,6 +226,9 @@ class Cpu
     Tick restartFromTick = 0;
     bool restartPending = false;
 
+    /** Restart-reason latch (see lastRollbackWasCapacity). */
+    bool lastRollbackCapacity = false;
+
     StatsRegistry::Counter& statLoads;
     StatsRegistry::Counter& statStores;
     StatsRegistry::Counter& statViolationsTaken;
@@ -229,6 +240,8 @@ class Cpu
     /** Begins that re-start a transaction after a rollback: the
      *  samples counter of htm.violation_to_restart. */
     StatsRegistry::Counter& statRestarts;
+    /** The subset of restarts whose rollback was a capacity abort. */
+    StatsRegistry::Counter& statCapacityRestarts;
     /** Cycles spent in transactions that were later rolled back. */
     StatsRegistry::Counter& statWastedCycles;
     /** This CPU's share of bus.busy_cycles (shared counter with

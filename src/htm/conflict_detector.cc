@@ -19,7 +19,8 @@ ConflictDetector::ConflictDetector(EventQueue& eq_, StatsRegistry& stats)
           stats.counter("htm.strong_atomicity_violations")),
       statSigFiltered(stats.counter("htm.sig_filtered")),
       statIndexHits(stats.counter("htm.index_hits")),
-      statSigFalsePositives(stats.counter("htm.sig_false_positives"))
+      statSigFalsePositives(stats.counter("htm.sig_false_positives")),
+      statOverflowChecks(stats.counter("htm.overflow_checks"))
 {
     tracer = &TxTracer::nil();
 }
@@ -59,6 +60,9 @@ void
 ConflictDetector::noteSequenceAbandoned(CpuId cpu)
 {
     contention().onSequenceAbandoned(cpu);
+    for (HtmContext* ctx : ctxs)
+        if (ctx->cpuId() == cpu)
+            ctx->noteSequenceAbandoned();
 }
 
 void
@@ -430,10 +434,20 @@ ConflictDetector::nonTxLoadMustStall(CpuId cpu, Addr line) const
 Cycles
 ConflictDetector::overflowPenalty() const
 {
+    // Audit note (PR 8): the sharer-index rewrite left this charged on
+    // both conflict paths. Eager mode charges it in Cpu::load/store on
+    // every first access to a unit, before eagerCheck runs — so the
+    // sig_filtered early-out inside lookupSharers cannot bypass it.
+    // Lazy mode charges it at the tail of broadcastWriteSet regardless
+    // of how many lines the filter skipped. What was missing was any
+    // accounting: overflow consults were invisible in the stats dump.
     Cycles penalty = 0;
-    for (const HtmContext* ctx : ctxs)
-        if (ctx->overflowed())
+    for (const HtmContext* ctx : ctxs) {
+        if (ctx->overflowed()) {
+            ++statOverflowChecks;
             penalty += ctx->config().overflowCheckPenalty;
+        }
+    }
     return penalty;
 }
 

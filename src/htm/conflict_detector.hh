@@ -179,7 +179,16 @@ class ConflictDetector : public SharerIndexListener
     void patchInPlaceWriters(CpuId cpu, Addr line_addr, Addr word_addr,
                              Word value);
 
-    /** Extra conflict-check latency due to overflowed contexts. */
+    /**
+     * Extra conflict-check latency due to overflowed contexts: one
+     * overflowCheckPenalty per context whose overflow structures
+     * (evicted lines, or the capacity-spill log) must be consulted.
+     * Charged by the CPU on every eager first-access check — before
+     * and independent of the signature filter, so the sig_filtered
+     * early-out in lookupSharers cannot skip it — and by
+     * broadcastWriteSet unconditionally at the end of a lazy commit
+     * broadcast. Each consult is counted in `htm.overflow_checks`.
+     */
     Cycles overflowPenalty() const;
 
     // --- sharer-index test hooks ---
@@ -273,6 +282,11 @@ class ConflictDetector : public SharerIndexListener
     StatsRegistry::Counter& statSigFiltered;
     StatsRegistry::Counter& statIndexHits;
     StatsRegistry::Counter& statSigFalsePositives;
+
+    /** Overflow-table consults actually charged (one per overflowed
+     *  context per overflowPenalty() assessment; counted through the
+     *  registry reference even from const query paths). */
+    StatsRegistry::Counter& statOverflowChecks;
 };
 
 } // namespace tmsim

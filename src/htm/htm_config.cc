@@ -33,6 +33,28 @@ contentionPolicyFromName(const std::string& s, ContentionPolicy& out)
     return true;
 }
 
+const char*
+capacityModeName(CapacityMode m)
+{
+    switch (m) {
+    case CapacityMode::Abort: return "abort";
+    case CapacityMode::Overflow: return "overflow";
+    }
+    return "?";
+}
+
+bool
+capacityModeFromName(const std::string& s, CapacityMode& out)
+{
+    if (s == "abort")
+        out = CapacityMode::Abort;
+    else if (s == "overflow")
+        out = CapacityMode::Overflow;
+    else
+        return false;
+    return true;
+}
+
 HtmConfig
 HtmConfig::paperLazy()
 {
@@ -82,6 +104,11 @@ HtmConfig::describe() const
     if (contention != ContentionPolicy::Requester) {
         s += "/cm=";
         s += contentionPolicyName(contention);
+    }
+    if (boundedCapacity()) {
+        s += "/cap=r" + std::to_string(rsetCap) + "w" +
+             std::to_string(wsetCap) + ":";
+        s += capacityModeName(capacityMode);
     }
     return s;
 }

@@ -91,6 +91,30 @@ enum class TrackGranularity
     Word,
 };
 
+/**
+ * What happens when a transaction exceeds a configured read/write-set
+ * capacity bound (paper 2.3: VTM/XTM virtualisation; PAPERS.md
+ * "Limited Read/Write-Set HTM").
+ */
+enum class CapacityMode
+{
+    /** The transaction takes a capacity abort and restarts; the
+     *  restarted attempt runs virtualised (software overflow) so the
+     *  sequence is guaranteed to make progress — XTM's abort-once,
+     *  re-execute-in-software-mode policy. */
+    Abort,
+    /** Lines past the cap spill into a per-context software overflow
+     *  log immediately; no abort, but every conflict check against the
+     *  overflowed context pays overflowCheckPenalty (VTM-style). */
+    Overflow,
+};
+
+/** Short lower-case name used by CLIs and replay files. */
+const char* capacityModeName(CapacityMode m);
+
+/** Parse a capacityModeName(); returns false on unknown names. */
+bool capacityModeFromName(const std::string& s, CapacityMode& out);
+
 /** How nested xbegin is treated. */
 enum class NestingMode
 {
@@ -152,6 +176,26 @@ struct HtmConfig
     /** Extra conflict-check latency once a context has overflowed
      *  transactional lines out of its caches (virtualisation). */
     Cycles overflowCheckPenalty = 8;
+
+    /**
+     * Per-level read/write-set capacity, in tracked lines; 0 means
+     * unbounded (the historical behaviour — all capacity machinery is
+     * a no-op so default-config runs stay bit-identical). When a
+     * level's set grows past its cap, capacityMode decides the fate;
+     * in Abort mode a cache eviction of a transactional line also
+     * triggers a capacity abort (the bounds assert the hardware really
+     * cannot hold more than it promised).
+     */
+    int rsetCap = 0;
+    int wsetCap = 0;
+    CapacityMode capacityMode = CapacityMode::Abort;
+
+    /** True when either set cap is configured. */
+    bool
+    boundedCapacity() const
+    {
+        return rsetCap > 0 || wsetCap > 0;
+    }
 
     /** Runtime retry backoff/jitter between transaction re-executions.
      *  Disabling it reproduces a baseline whose flattened conflicts

@@ -24,8 +24,11 @@ HtmContext::HtmContext(CpuId id_, const HtmConfig& cfg_, BackingStore& mem_,
       statViolationsRaised(
           stats.counter(strfmt("cpu%d.htm.violations", id_))),
       statSubsumed(stats.counter(strfmt("cpu%d.htm.subsumed_begins", id_))),
+      statCapacityAborts(
+          stats.counter(strfmt("cpu%d.htm.capacity_aborts", id_))),
       statSigFiltered(stats.counter("htm.sig_filtered")),
       statSigFalsePositives(stats.counter("htm.sig_false_positives")),
+      statCapacitySpills(stats.counter("htm.capacity_spills")),
       distRsetAtCommit(stats.distribution("htm.rset_size_at_commit")),
       distWsetAtCommit(stats.distribution("htm.wset_size_at_commit"))
 {
@@ -121,8 +124,11 @@ HtmContext::specRead(Addr addr)
         panic("specRead outside a transaction");
     Word value = readVisible(addr);
     Addr unit = trackUnit(addr);
-    if (top().readLines.insert(unit))
+    if (top().readLines.insert(unit)) {
         noteReadInsert(unit);
+        if (cfg.rsetCap > 0)
+            enforceCapacity(false, unit);
+    }
     Addr line = lineOf(addr);
     if (l1)
         l1->markRead(line, depth());
@@ -151,6 +157,8 @@ HtmContext::specWrite(Addr addr, Word value)
     if (top().writeLines.insert(unit)) {
         top().wlShadowValid = false;
         noteWriteInsert(unit);
+        if (cfg.wsetCap > 0)
+            enforceCapacity(true, unit);
     }
     Addr line = lineOf(addr);
     if (l1)
@@ -452,6 +460,8 @@ HtmContext::commitClosedTop()
     if (depth() < 2)
         panic("commitClosedTop at depth %d", depth());
     const int childLevelNum = depth();
+    const std::uint64_t spillBefore =
+        cfg.boundedCapacity() ? spilledLineCount() : 0;
     distRsetAtCommit.sample(top().readSetSize());
     distWsetAtCommit.sample(top().writeSetSize());
     tracer->endTx(id, childLevelNum, TxTracer::Outcome::ClosedMerge);
@@ -494,6 +504,19 @@ HtmContext::commitClosedTop()
             vcurrent = (vcurrent & ~childBit) | parentBit;
         if (vpending & childBit)
             vpending = (vpending & ~childBit) | parentBit;
+    }
+    // A closed-nested merge can push the parent past its own caps (the
+    // merged sets are the union): re-check, counting fresh spills in
+    // overflow/virtualised mode or aborting the parent level in abort
+    // mode.
+    if (cfg.boundedCapacity()) {
+        const std::uint64_t spillAfter = spilledLineCount();
+        if (spillAfter > spillBefore)
+            statCapacitySpills += spillAfter - spillBefore;
+        if (!capVirtualized &&
+            cfg.capacityMode == CapacityMode::Abort && topOverCap()) {
+            raiseCapacityAbort(depth(), invalidAddr);
+        }
     }
     ++statCommits;
 
@@ -570,6 +593,10 @@ HtmContext::popCommittedTop()
     if (levels.empty()) {
         if (cmgr)
             cmgr->onOuterCommit(id);
+        // A committed outermost level ends the virtualised episode;
+        // rollbacks deliberately do not (the retried attempt needs the
+        // lifted caps to make progress).
+        capVirtualized = false;
         onAllLevelsGone();
     }
 }
@@ -685,8 +712,80 @@ HtmContext::setViolationHook(std::function<void()> hook)
 void
 HtmContext::noteEviction(const EvictInfo& info)
 {
-    if (info.evicted && info.transactional)
-        ++overflowLines;
+    if (!(info.evicted && info.transactional))
+        return;
+    ++overflowLines;
+    // Cache-eviction abort mode: bounded-capacity hardware in Abort
+    // mode cannot virtualise an evicted transactional line in place,
+    // so the transaction restarts (virtualised). Unbounded configs
+    // keep the historical virtualise-silently behaviour.
+    if (cfg.boundedCapacity() && cfg.capacityMode == CapacityMode::Abort &&
+        !capVirtualized && inTx()) {
+        raiseCapacityAbort(depth(), info.lineAddr);
+    }
+}
+
+std::uint64_t
+HtmContext::spilledLineCount() const
+{
+    if (!cfg.boundedCapacity())
+        return 0;
+    if (!capVirtualized && cfg.capacityMode != CapacityMode::Overflow)
+        return 0;
+    std::uint64_t n = 0;
+    for (const TxLevel& t : levels)
+        n += t.spilledLines(cfg.rsetCap, cfg.wsetCap);
+    return n;
+}
+
+bool
+HtmContext::topOverCap() const
+{
+    const TxLevel& t = top();
+    return (cfg.rsetCap > 0 &&
+            t.readSetSize() > static_cast<size_t>(cfg.rsetCap)) ||
+           (cfg.wsetCap > 0 &&
+            t.writeSetSize() > static_cast<size_t>(cfg.wsetCap));
+}
+
+void
+HtmContext::enforceCapacity(bool is_write, Addr unit)
+{
+    const int cap = is_write ? cfg.wsetCap : cfg.rsetCap;
+    const size_t size =
+        is_write ? top().writeSetSize() : top().readSetSize();
+    if (size <= static_cast<size_t>(cap))
+        return;
+    if (capVirtualized || cfg.capacityMode == CapacityMode::Overflow) {
+        // The line just spilled past the cap into the software
+        // overflow log; from here on every conflict check against
+        // this context pays overflowCheckPenalty (see
+        // ConflictDetector::overflowPenalty).
+        ++statCapacitySpills;
+        return;
+    }
+    raiseCapacityAbort(depth(), unit);
+}
+
+void
+HtmContext::raiseCapacityAbort(int lvl, Addr unit)
+{
+    // Virtualise before restarting: the retried attempt runs with the
+    // caps lifted and the overflow penalty charged instead, so a
+    // footprint the hardware can never hold cannot livelock the
+    // attempt sequence.
+    capVirtualized = true;
+    capRestartFlag = true;
+    ++statCapacityAborts;
+    raiseViolation(1u << (lvl - 1), unit, id);
+}
+
+bool
+HtmContext::takeCapacityRestart()
+{
+    const bool r = capRestartFlag;
+    capRestartFlag = false;
+    return r;
 }
 
 void
@@ -732,6 +831,8 @@ HtmContext::resetAll()
     vattacker = -1;
     vheld = false;
     reporting = true;
+    capVirtualized = false;
+    capRestartFlag = false;
     if (cmgr)
         cmgr->onSequenceAbandoned(id);
     onAllLevelsGone();

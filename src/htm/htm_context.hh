@@ -242,6 +242,11 @@ class HtmContext
     clearCurrentViolations()
     {
         vcurrent = 0;
+        // Continuing past a capacity violation means no restart ever
+        // happens; the flag must not mis-attribute a later rollback.
+        // The context stays virtualised, which is exactly VTM's
+        // continue-in-software-mode semantics.
+        capRestartFlag = false;
         maybeReleaseReport();
     }
 
@@ -268,8 +273,45 @@ class HtmContext
     /** Inform the context that a cache evicted a transactional line. */
     void noteEviction(const EvictInfo& info);
 
-    /** True if conflict checks must consult the overflow table. */
-    bool overflowed() const { return overflowLines > 0; }
+    /** True if conflict checks must consult the overflow structures:
+     *  transactional lines were evicted out of the caches, or set
+     *  entries spilled into the software overflow log. */
+    bool
+    overflowed() const
+    {
+        return overflowLines > 0 || spilledLineCount() > 0;
+    }
+
+    /**
+     * Entries currently in the per-context software overflow log:
+     * lines past the per-level caps under CapacityMode::Overflow, or
+     * during a virtualised attempt after a capacity abort. Derived
+     * from the surviving levels' authoritative set sizes, so partial
+     * rollback and open-nested commit release overflow capacity
+     * automatically. Always 0 when no cap is configured.
+     */
+    std::uint64_t spilledLineCount() const;
+
+    /** True while the context executes virtualised: a capacity abort
+     *  was taken and the restarted attempt runs with the caps lifted,
+     *  spilling into the overflow log instead (XTM's abort-once,
+     *  re-execute-in-software policy — guarantees the attempt sequence
+     *  makes progress). Cleared when the outermost level commits. */
+    bool capacityVirtualized() const { return capVirtualized; }
+
+    /** Consume the capacity-restart flag (Cpu::rawRollback reads this
+     *  to attribute the restart reason): true when the rollback being
+     *  processed was triggered by a capacity abort. */
+    bool takeCapacityRestart();
+
+    /** The runtime abandoned the current attempt sequence: end any
+     *  virtualised episode (the next sequence re-enforces the caps). */
+    void
+    noteSequenceAbandoned()
+    {
+        capVirtualized = false;
+        capRestartFlag = false;
+    }
 
     /** Undo-log depth (tests / stats). */
     size_t undoLogSize() const { return undoLog.size(); }
@@ -330,6 +372,17 @@ class HtmContext
     void noteReadInsert(Addr unit);
     void noteWriteInsert(Addr unit);
     void noteReadErase(Addr unit);
+
+    /** Capacity-bound enforcement after a top-level set insert; only
+     *  called when the relevant cap is configured. */
+    void enforceCapacity(bool is_write, Addr unit);
+
+    /** Top level exceeds either configured cap. */
+    bool topOverCap() const;
+
+    /** Take a capacity abort: flip the context into virtualised mode
+     *  and raise a self-violation against level @p lvl. */
+    void raiseCapacityAbort(int lvl, Addr unit);
 
     /** Remove level @p lvl's bit from the aggregates of every unit in
      *  its sets (pop, rollback, xrwsetclear). */
@@ -401,16 +454,25 @@ class HtmContext
 
     std::uint64_t overflowLines = 0;
 
+    /** Capacity state: virtualised execution after a capacity abort,
+     *  and the not-yet-consumed restart-reason flag. */
+    bool capVirtualized = false;
+    bool capRestartFlag = false;
+
     StatsRegistry::Counter& statBegins;
     StatsRegistry::Counter& statCommits;
     StatsRegistry::Counter& statOpenCommits;
     StatsRegistry::Counter& statRollbacks;
     StatsRegistry::Counter& statViolationsRaised;
     StatsRegistry::Counter& statSubsumed;
+    StatsRegistry::Counter& statCapacityAborts;
 
     /** Chip-wide (shared-name) signature filter stats. */
     StatsRegistry::Counter& statSigFiltered;
     StatsRegistry::Counter& statSigFalsePositives;
+
+    /** Chip-wide: lines spilled into software overflow logs. */
+    StatsRegistry::Counter& statCapacitySpills;
 
     /** Chip-wide commit-time set-size histograms: sampled once per
      *  commit of any flavour, so each samples count equals

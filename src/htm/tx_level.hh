@@ -79,6 +79,23 @@ struct TxLevel
     size_t readSetSize() const { return readLines.size(); }
     size_t writeSetSize() const { return writeLines.size(); }
 
+    /** Lines of this level's sets sitting past a per-level cap, i.e.
+     *  the level's contribution to the software overflow log under
+     *  CapacityMode::Overflow. Derived from the authoritative set
+     *  sizes, so it survives merges, releases, and partial rollback
+     *  without separate bookkeeping (cap 0 = unbounded = no spill). */
+    size_t
+    spilledLines(int rset_cap, int wset_cap) const
+    {
+        size_t n = 0;
+        if (rset_cap > 0 && readLines.size() > static_cast<size_t>(rset_cap))
+            n += readLines.size() - static_cast<size_t>(rset_cap);
+        if (wset_cap > 0 &&
+            writeLines.size() > static_cast<size_t>(wset_cap))
+            n += writeLines.size() - static_cast<size_t>(wset_cap);
+        return n;
+    }
+
     /** Discard all tracked sets and speculative data (xrwsetclear).
      *  Callers must first detach the level from the aggregates (see
      *  HtmContext::clearTopSets). */

@@ -14,7 +14,6 @@
 
 #include <vector>
 
-#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace tmsim {
@@ -49,25 +48,31 @@ class HandlerStack
     size_t size() const { return entries.size(); }
 
     /** Would pushing a handler with @p n_args arguments overflow the
-     *  stack? Callers probe this first and turn an overflow into a
-     *  recoverable per-transaction abort; the fatal() in push() is
-     *  only a backstop for unchecked raw use. */
+     *  stack? Pure query, for callers that want to branch before
+     *  constructing the entry; push() itself refuses overflow. */
     bool
     wouldOverflow(size_t n_args) const
     {
         return topW + 2 + n_args > capWords;
     }
 
-    /** Push a handler; returns the new entry (for traffic addresses). */
-    const Entry&
+    /**
+     * Push a handler; returns the new entry (for traffic addresses),
+     * or nullptr when the entry would not fit. Overflow is the
+     * caller's recoverable condition (a per-transaction abort), never
+     * a process-fatal error: an abort protocol may legally resume past
+     * xabort, and registration must then fail cleanly, not kill the
+     * simulator.
+     */
+    const Entry*
     push(Fn fn, std::vector<Word> args)
     {
         size_t need = 2 + args.size();
         if (topW + need > capWords)
-            fatal("handler stack overflow (%zu words)", capWords);
+            return nullptr;
         entries.push_back(Entry{std::move(fn), std::move(args), topW});
         topW += need;
-        return entries.back();
+        return &entries.back();
     }
 
     /** Discard every entry at or above @p top_words (rollback/commit). */

@@ -73,14 +73,28 @@ TxIo::txWrite(TxThread& t, std::vector<Word> record)
 SimTask
 TxIo::appendOpen(TxThread& t, Addr buf, size_t n)
 {
-    co_await t.atomicOpen([&](TxThread& th) -> SimTask {
+    TxOutcome out = co_await t.atomicOpen([&](TxThread& th) -> SimTask {
         Word tail = co_await th.ld(log.tailAddr());
+        if (tail + n > log.capacityWords()) {
+            // Device full: abort the open append so the log is left
+            // untouched, then escalate below.
+            co_await th.cpu().xabort(TxThread::logFullCode);
+        }
         for (size_t i = 0; i < n; ++i) {
             Word w = co_await th.cpu().imld(buf + i * wordBytes);
             co_await th.st(log.dataBase() + (tail + i) * wordBytes, w);
         }
         co_await th.st(log.tailAddr(), tail + n);
     });
+    if (out.result == TxResult::Aborted && t.cpu().htm().inTx()) {
+        // The device refused the append while an enclosing transaction
+        // is live (commit-handler path): escalate so the user
+        // transaction aborts recoverably with the same code. Earlier
+        // commit handlers may already have performed their open-nested
+        // side effects — inherent to open-nested I/O; compensation is
+        // the caller's business (section 5).
+        co_await t.cpu().xabort(TxThread::logFullCode);
+    }
 }
 
 SimTask
@@ -91,6 +105,11 @@ TxIo::directWrite(TxThread& t, const std::vector<Word>& record)
     // concurrent transactions doing I/O violate each other unless the
     // caller serialised the whole transaction.
     Word tail = co_await t.ld(log.tailAddr());
+    if (tail + record.size() > log.capacityWords()) {
+        // Device full: recoverable abort of the writing transaction;
+        // the log is untouched.
+        co_await t.cpu().xabort(TxThread::logFullCode);
+    }
     for (size_t i = 0; i < record.size(); ++i)
         co_await t.st(log.dataBase() + (tail + i) * wordBytes, record[i]);
     co_await t.st(log.tailAddr(), tail + record.size());

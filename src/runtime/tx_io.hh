@@ -32,6 +32,10 @@ class TxLogDevice
     Addr tailAddr() const { return tailPtr; }
     Addr dataBase() const { return base; }
 
+    /** Device capacity, in words: appends past this bound abort the
+     *  writing transaction (TxThread::logFullCode). */
+    size_t capacityWords() const { return capacity; }
+
     /** Committed length, in words. */
     Word length(const BackingStore& mem) const { return mem.read(tailPtr); }
 

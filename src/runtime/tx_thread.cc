@@ -131,7 +131,11 @@ TxThread::runTx(TxKind kind, TxBody body, TxOpts opts)
             // Conditional synchronisation: park until woken, then
             // re-execute the body from scratch.
             co_await WaitOn{retryWaker};
-        } else if (opts.autoBackoff) {
+        } else if (opts.autoBackoff &&
+                   !cpuRef.lastRollbackWasCapacity()) {
+            // Capacity restarts retry immediately: waiting cannot
+            // shrink the footprint, and the restarted attempt runs
+            // virtualised (caps lifted), so it is guaranteed to fit.
             co_await backoff(retries);
         }
     }
@@ -245,21 +249,24 @@ TxThread::onCommit(CommitHandlerFn fn, std::vector<Word> args)
 {
     if (!cpuRef.htm().inTx())
         fatal("onCommit outside a transaction");
-    if (ch.wouldOverflow(args.size())) {
+    const auto* e = ch.push(std::move(fn), std::move(args));
+    if (!e) {
         // Registration would overflow the thread's handler stack: a
         // recoverable per-transaction abort (through the normal abort
-        // protocol), not a simulator death. Throws TxAbortSignal.
+        // protocol), not a simulator death. Usually throws
+        // TxAbortSignal; a custom abort protocol may instead resume
+        // us, in which case the registration is simply dropped.
         co_await cpuRef.xabort(handlerOverflowCode);
+        co_return;
     }
-    const auto& e = ch.push(std::move(fn), std::move(args));
     // Registration cost (paper: 9 instructions for no arguments).
     co_await cpuRef.imld(ch.topFieldAddr());              // 1
     co_await cpuRef.exec(2);                              // 3: bounds
-    co_await cpuRef.imst(ch.wordAddr(e.wordOff), 1);      // 4: PC
-    co_await cpuRef.imst(ch.wordAddr(e.wordOff + 1),
-                         e.args.size());                  // 5: argc
-    for (size_t i = 0; i < e.args.size(); ++i)
-        co_await cpuRef.imst(ch.wordAddr(e.wordOff + 2 + i), e.args[i]);
+    co_await cpuRef.imst(ch.wordAddr(e->wordOff), 1);     // 4: PC
+    co_await cpuRef.imst(ch.wordAddr(e->wordOff + 1),
+                         e->args.size());                 // 5: argc
+    for (size_t i = 0; i < e->args.size(); ++i)
+        co_await cpuRef.imst(ch.wordAddr(e->wordOff + 2 + i), e->args[i]);
     co_await cpuRef.exec(1);                              // 6: new top
     co_await cpuRef.imst(ch.topFieldAddr(), ch.topWords()); // 7
     co_await cpuRef.exec(2);                              // 9: call/ret
@@ -270,15 +277,17 @@ TxThread::onViolation(ViolationHandlerFn fn, std::vector<Word> args)
 {
     if (!cpuRef.htm().inTx())
         fatal("onViolation outside a transaction");
-    if (vh.wouldOverflow(args.size()))
+    const auto* e = vh.push(std::move(fn), std::move(args));
+    if (!e) {
         co_await cpuRef.xabort(handlerOverflowCode);
-    const auto& e = vh.push(std::move(fn), std::move(args));
+        co_return;
+    }
     co_await cpuRef.imld(vh.topFieldAddr());
     co_await cpuRef.exec(2);
-    co_await cpuRef.imst(vh.wordAddr(e.wordOff), 1);
-    co_await cpuRef.imst(vh.wordAddr(e.wordOff + 1), e.args.size());
-    for (size_t i = 0; i < e.args.size(); ++i)
-        co_await cpuRef.imst(vh.wordAddr(e.wordOff + 2 + i), e.args[i]);
+    co_await cpuRef.imst(vh.wordAddr(e->wordOff), 1);
+    co_await cpuRef.imst(vh.wordAddr(e->wordOff + 1), e->args.size());
+    for (size_t i = 0; i < e->args.size(); ++i)
+        co_await cpuRef.imst(vh.wordAddr(e->wordOff + 2 + i), e->args[i]);
     co_await cpuRef.exec(1);
     co_await cpuRef.imst(vh.topFieldAddr(), vh.topWords());
     co_await cpuRef.exec(2);
@@ -289,15 +298,17 @@ TxThread::onAbort(AbortHandlerFn fn, std::vector<Word> args)
 {
     if (!cpuRef.htm().inTx())
         fatal("onAbort outside a transaction");
-    if (ah.wouldOverflow(args.size()))
+    const auto* e = ah.push(std::move(fn), std::move(args));
+    if (!e) {
         co_await cpuRef.xabort(handlerOverflowCode);
-    const auto& e = ah.push(std::move(fn), std::move(args));
+        co_return;
+    }
     co_await cpuRef.imld(ah.topFieldAddr());
     co_await cpuRef.exec(2);
-    co_await cpuRef.imst(ah.wordAddr(e.wordOff), 1);
-    co_await cpuRef.imst(ah.wordAddr(e.wordOff + 1), e.args.size());
-    for (size_t i = 0; i < e.args.size(); ++i)
-        co_await cpuRef.imst(ah.wordAddr(e.wordOff + 2 + i), e.args[i]);
+    co_await cpuRef.imst(ah.wordAddr(e->wordOff), 1);
+    co_await cpuRef.imst(ah.wordAddr(e->wordOff + 1), e->args.size());
+    for (size_t i = 0; i < e->args.size(); ++i)
+        co_await cpuRef.imst(ah.wordAddr(e->wordOff + 2 + i), e->args[i]);
     co_await cpuRef.exec(1);
     co_await cpuRef.imst(ah.topFieldAddr(), ah.topWords());
     co_await cpuRef.exec(2);

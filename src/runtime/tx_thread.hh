@@ -94,6 +94,11 @@ class TxThread
      *  the normal abort-handler path) instead of killing the sim. */
     static constexpr Word handlerOverflowCode = 0x484F5646; // 'HOVF'
 
+    /** Abort code reported when an append would run past a
+     *  TxLogDevice's capacity: the writing transaction aborts
+     *  recoverably and the log is left untouched. */
+    static constexpr Word logFullCode = 0x4C4F4746; // 'LOGF'
+
     explicit TxThread(Cpu& cpu);
 
     TxThread(const TxThread&) = delete;

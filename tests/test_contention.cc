@@ -13,6 +13,7 @@
 #include "core/tx_signals.hh"
 #include "htm/contention.hh"
 #include "htm/htm_context.hh"
+#include "runtime/handler_stack.hh"
 #include "runtime/tx_thread.hh"
 #include "workloads/kernel_contention.hh"
 
@@ -476,6 +477,34 @@ TEST(ContentionOverflow, HandlerStackOverflowAbortsTransactionNotSim)
     EXPECT_EQ(out.abortCode, TxThread::handlerOverflowCode);
     EXPECT_FALSE(bodyResumedAfterOverflow);
     EXPECT_EQ(t0.frameCount(), 0u);
+}
+
+TEST(ContentionOverflow, HandlerStackPushRefusesOverflowWithoutFatal)
+{
+    // Pre-fix, push() itself called fatal() when the entry did not
+    // fit, so any caller that reached it past a stale wouldOverflow
+    // probe (e.g. resumed by a custom abort protocol) killed the
+    // process. Now push() returns nullptr and leaves the stack intact.
+    using Stack = HandlerStack<int>;
+    Stack st(0x1000, 0x2000, 8); // room for one small entry
+
+    const Stack::Entry* a = st.push(1, {7, 8});
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->wordOff, 0u);
+    EXPECT_EQ(st.topWords(), 4u);
+
+    // 2 + 5 = 7 words needed, 4 free: refused, nothing changes.
+    const Stack::Entry* b = st.push(2, {1, 2, 3, 4, 5});
+    EXPECT_EQ(b, nullptr);
+    EXPECT_EQ(st.topWords(), 4u);
+    EXPECT_EQ(st.size(), 1u);
+
+    // An entry that fits in the remaining space still lands.
+    const Stack::Entry* c = st.push(3, {9, 10});
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->wordOff, 4u);
+    EXPECT_EQ(st.topWords(), 8u);
+    EXPECT_TRUE(st.wouldOverflow(0));
 }
 
 // --- fairness stats -------------------------------------------------------

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Growth-edge tests for the flat read/write-set containers: the
+ * linear-scan -> open-addressed-index transition at exactly scanMax
+ * elements, insertion across the rehashIfNeeded load-factor boundary,
+ * erase/tombstone behaviour around those edges, and inline -> heap
+ * growth of FlatAddrSet's dense array.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "htm/small_set.hh"
+
+using namespace tmsim;
+
+namespace {
+
+/** Distinct line-ish addresses, 64-byte stride. */
+Addr
+key(int i)
+{
+    return 0x4000 + static_cast<Addr>(i) * 64;
+}
+
+} // namespace
+
+TEST(FlatAddrSet, InsertExactlyAtScanMaxStaysConsistent)
+{
+    // scanMax is 16: element 16 (the 17th) triggers the index build.
+    // Membership answers must be identical just below, at, and just
+    // above the boundary.
+    FlatAddrSet<8> s;
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(s.insert(key(i)));
+    EXPECT_EQ(s.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(s.contains(key(i))) << i;
+    EXPECT_FALSE(s.contains(key(16)));
+
+    // Duplicate inserts at the boundary must not build a bogus index.
+    EXPECT_FALSE(s.insert(key(7)));
+    EXPECT_EQ(s.size(), 16u);
+
+    // The 17th element crosses into indexed mode.
+    EXPECT_TRUE(s.insert(key(16)));
+    EXPECT_EQ(s.size(), 17u);
+    for (int i = 0; i < 17; ++i)
+        EXPECT_TRUE(s.contains(key(i))) << i;
+    EXPECT_FALSE(s.contains(key(17)));
+    EXPECT_FALSE(s.insert(key(16)));
+}
+
+TEST(FlatAddrSet, InsertAcrossRehashBoundary)
+{
+    // The first index build sizes for 17 keys -> 64 slots; inserts
+    // rehash when (used + tombs) * 4 >= slots * 3, i.e. at 48 live
+    // entries. Walk well past that and verify every membership query
+    // and the insertion-order iteration survive the rehash.
+    FlatAddrSet<8> s;
+    const int n = 130; // crosses 48 (64->128) and 96 (128->256)
+    for (int i = 0; i < n; ++i)
+        EXPECT_TRUE(s.insert(key(i))) << i;
+    EXPECT_EQ(s.size(), static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        EXPECT_TRUE(s.contains(key(i))) << i;
+    EXPECT_FALSE(s.contains(key(n)));
+
+    // Insertion order is preserved for erase-free sets (the write-set
+    // order reconstruction in HtmContext relies on this).
+    int i = 0;
+    for (Addr a : s)
+        EXPECT_EQ(a, key(i++));
+    EXPECT_EQ(i, n);
+}
+
+TEST(FlatAddrSet, TombstonesCountTowardRehash)
+{
+    // Repeated insert/erase churn accumulates tombstones; the load
+    // factor counts them, so the index must eventually rebuild instead
+    // of degrading into an always-full probe loop. This loops far past
+    // the slot count — it only terminates if tombstone rehashing works.
+    FlatAddrSet<8> s;
+    for (int i = 0; i < 20; ++i)
+        s.insert(key(i));
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_EQ(s.erase(key(1000 + i)), 0u)
+            << "erase of an absent key must be a no-op";
+        EXPECT_TRUE(s.insert(key(1000 + i)));
+        EXPECT_EQ(s.erase(key(1000 + i)), 1u);
+    }
+    EXPECT_EQ(s.size(), 20u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(s.contains(key(i))) << i;
+}
+
+TEST(FlatAddrSet, ClearAfterIndexedModeRebuildsLazily)
+{
+    FlatAddrSet<8> s;
+    for (int i = 0; i < 40; ++i)
+        s.insert(key(i));
+    s.clear();
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_FALSE(s.contains(key(3)));
+
+    // Refill past scanMax again: the index must rebuild from scratch
+    // with no stale positions from the previous generation.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(s.insert(key(100 + i)));
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(s.contains(key(100 + i))) << i;
+    for (int i = 0; i < 40; ++i)
+        EXPECT_FALSE(s.contains(key(i))) << i;
+}
+
+TEST(FlatAddrMap, GrowthAcrossScanMaxAndRehashBoundary)
+{
+    FlatAddrMap<std::uint32_t> m;
+    const int n = 130;
+    for (int i = 0; i < n; ++i)
+        m[key(i)] = static_cast<std::uint32_t>(i * 3);
+    EXPECT_EQ(m.size(), static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const std::uint32_t* v = m.find(key(i));
+        ASSERT_NE(v, nullptr) << i;
+        EXPECT_EQ(*v, static_cast<std::uint32_t>(i * 3)) << i;
+    }
+    EXPECT_EQ(m.find(key(n)), nullptr);
+
+    // operator[] on an existing key must not duplicate the entry —
+    // including for the boundary element (dense position scanMax).
+    m[key(16)] = 999;
+    EXPECT_EQ(m.size(), static_cast<size_t>(n));
+    EXPECT_EQ(*m.find(key(16)), 999u);
+}
+
+TEST(FlatAddrMap, SwapRemoveKeepsIndexPositionsFresh)
+{
+    FlatAddrMap<int> m;
+    for (int i = 0; i < 32; ++i)
+        m[key(i)] = i;
+
+    // Erasing from the middle swap-moves the last entry into the hole;
+    // the index must track the move or lookups of the moved key die.
+    EXPECT_EQ(m.erase(key(5)), 1u);
+    EXPECT_EQ(m.find(key(5)), nullptr);
+    const int* moved = m.find(key(31));
+    ASSERT_NE(moved, nullptr);
+    EXPECT_EQ(*moved, 31);
+    EXPECT_EQ(m.size(), 31u);
+    EXPECT_EQ(m.erase(key(5)), 0u);
+
+    for (int i = 0; i < 32; ++i) {
+        if (i == 5)
+            continue;
+        const int* v = m.find(key(i));
+        ASSERT_NE(v, nullptr) << i;
+        EXPECT_EQ(*v, i) << i;
+    }
+}

@@ -243,12 +243,18 @@ TEST(DistributionQuantile, DefaultBitsMeetTheSixPointTwoFivePercentBound)
 TEST(DistributionQuantile, EdgeCases)
 {
     Dist d;
-    EXPECT_EQ(d.quantile(0.5), 0u); // empty
+    EXPECT_EQ(d.quantile(0.5), 0u);   // empty
+    EXPECT_EQ(d.quantile(0.0), 0u);   // empty, lower edge
+    EXPECT_EQ(d.quantile(1.0), 0u);   // empty, upper edge
+    EXPECT_EQ(d.quantile(0.999), 0u); // empty, p999
 
     d.sample(7);
     EXPECT_EQ(d.quantile(0.0), 7u);
     EXPECT_EQ(d.quantile(0.5), 7u);
     EXPECT_EQ(d.quantile(1.0), 7u);
+    // Single sample: every tail percentile clamps to that sample, not
+    // to the enclosing bucket's upper bound.
+    EXPECT_EQ(d.quantile(0.999), 7u);
 
     // Quantiles clamp to the observed max, never a bucket bound
     // beyond it.

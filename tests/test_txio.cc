@@ -226,3 +226,101 @@ TEST(TxIo, CommittedReadKeepsPosition)
     EXPECT_EQ(file.position(m.memory()), 2u);
     EXPECT_EQ(file.compensations(), 0u);
 }
+
+// --- device capacity bounds (PR 8 satellite) ------------------------------
+
+TEST(TxIoCapacity, AppendToExactlyFullDeviceSucceeds)
+{
+    Machine m(config(1));
+    TxLogDevice log = TxLogDevice::create(m.memory(), 6);
+    TxIo io(log);
+    TxThread t0(m.cpu(0));
+
+    TxOutcome out;
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await io.txWrite(t0, record(1, 4));
+        out = co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await io.txWrite(t, record(2, 2)); // lands exactly at cap
+        });
+    });
+    m.run();
+    ASSERT_TRUE(m.allDone());
+    EXPECT_TRUE(out.committed());
+    EXPECT_EQ(log.length(m.memory()), 6u);
+    EXPECT_EQ(log.contents(m.memory()),
+              (std::vector<Word>{1000, 1001, 1002, 1003, 2000, 2001}));
+}
+
+TEST(TxIoCapacity, OverfullCommitHandlerAppendAbortsRecoverably)
+{
+    // Pre-fix, the append ran off the end of the device's backing
+    // allocation. Now the transaction whose commit handler cannot fit
+    // its record aborts recoverably with logFullCode and the log is
+    // untouched.
+    Machine m(config(1));
+    TxLogDevice log = TxLogDevice::create(m.memory(), 6);
+    TxIo io(log);
+    TxThread t0(m.cpu(0));
+
+    TxOutcome out;
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await io.txWrite(t0, record(1, 4));
+        out = co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await io.txWrite(t, record(2, 3)); // cap + 1
+        });
+
+        // The thread survives: a fitting record still goes through.
+        TxOutcome ok = co_await t0.atomic([&](TxThread& t) -> SimTask {
+            co_await io.txWrite(t, record(3, 2));
+        });
+        EXPECT_TRUE(ok.committed());
+    });
+    m.run();
+    ASSERT_TRUE(m.allDone());
+    EXPECT_EQ(out.result, TxResult::Aborted);
+    EXPECT_EQ(out.abortCode, TxThread::logFullCode);
+    EXPECT_EQ(log.length(m.memory()), 6u);
+    EXPECT_EQ(log.contents(m.memory()),
+              (std::vector<Word>{1000, 1001, 1002, 1003, 3000, 3001}));
+}
+
+TEST(TxIoCapacity, OverfullImmediateAppendLeavesLogUntouched)
+{
+    // txWrite outside a transaction: the open-nested append itself
+    // aborts; with no enclosing transaction to escalate to, the write
+    // is dropped and the device stays consistent.
+    Machine m(config(1));
+    TxLogDevice log = TxLogDevice::create(m.memory(), 3);
+    TxIo io(log);
+    TxThread t0(m.cpu(0));
+
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        co_await io.txWrite(t0, record(1, 2));
+        co_await io.txWrite(t0, record(2, 2)); // cap + 1: refused
+        co_await io.txWrite(t0, record(3, 1)); // still fits
+    });
+    m.run();
+    ASSERT_TRUE(m.allDone());
+    EXPECT_EQ(log.contents(m.memory()),
+              (std::vector<Word>{1000, 1001, 3000}));
+}
+
+TEST(TxIoCapacity, OverfullDirectWriteAbortsRecoverably)
+{
+    Machine m(config(1));
+    TxLogDevice log = TxLogDevice::create(m.memory(), 4);
+    TxIo io(log);
+    TxThread t0(m.cpu(0));
+
+    TxOutcome out;
+    m.spawn(0, [&](Cpu&) -> SimTask {
+        out = co_await t0.serializedAtomic([&](TxThread& t) -> SimTask {
+            co_await io.directWrite(t, record(9, 5)); // cap + 1
+        });
+    });
+    m.run();
+    ASSERT_TRUE(m.allDone());
+    EXPECT_EQ(out.result, TxResult::Aborted);
+    EXPECT_EQ(out.abortCode, TxThread::logFullCode);
+    EXPECT_EQ(log.length(m.memory()), 0u);
+}

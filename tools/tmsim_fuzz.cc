@@ -62,6 +62,15 @@ usage()
         "timestamp|karma|polite|hybrid)\n"
         "                     instead of the per-seed draw; also "
         "overrides replays\n"
+        "  --rset-cap N       bound every config's per-level read-set "
+        "to N lines\n"
+        "  --wset-cap N       bound every config's per-level write-set "
+        "to N lines\n"
+        "  --capacity-mode M  abort|overflow: how over-cap accesses "
+        "are handled\n"
+        "                     (default abort); like --contention, "
+        "caps also\n"
+        "                     override replays and survive shrinking\n"
         "  --selftest-inject  verify the pipeline catches an injected "
         "bug\n"
         "  --progress         live progress line on stderr (merged/"
@@ -180,6 +189,9 @@ main(int argc, char** argv)
     std::string heartbeatFile;
     bool forcePolicy = false;
     ContentionPolicy policy = ContentionPolicy::Requester;
+    int rsetCap = 0;
+    int wsetCap = 0;
+    CapacityMode capMode = CapacityMode::Abort;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -213,6 +225,14 @@ main(int argc, char** argv)
             if (!contentionPolicyFromName(name, policy))
                 fatal("unknown contention policy '%s'", name.c_str());
             forcePolicy = true;
+        } else if (arg == "--rset-cap") {
+            rsetCap = parseInt(next(), "--rset-cap", 0, 100000);
+        } else if (arg == "--wset-cap") {
+            wsetCap = parseInt(next(), "--wset-cap", 0, 100000);
+        } else if (arg == "--capacity-mode") {
+            const std::string name = next();
+            if (!capacityModeFromName(name, capMode))
+                fatal("unknown capacity mode '%s'", name.c_str());
         } else if (arg == "--selftest-inject") {
             selftest = true;
         } else if (arg == "--progress") {
@@ -233,6 +253,18 @@ main(int argc, char** argv)
 
     defaultLogContext().quiet = quiet;
 
+    // Forced-configuration overrides, applied identically to generated,
+    // replayed and re-generated (shrink input) programs.
+    auto applyForced = [&](FuzzProgram& p) {
+        if (forcePolicy)
+            p.contention = policy;
+        if (rsetCap > 0 || wsetCap > 0) {
+            p.rsetCap = rsetCap;
+            p.wsetCap = wsetCap;
+            p.capacityMode = capMode;
+        }
+    };
+
     if (selftest)
         return selftestInject(outDir, shrinkRuns, maxTicks);
 
@@ -246,8 +278,7 @@ main(int argc, char** argv)
         std::string err;
         if (!FuzzProgram::parse(buf.str(), p, &err))
             fatal("malformed replay file: %s", err.c_str());
-        if (forcePolicy)
-            p.contention = policy;
+        applyForced(p);
         const FuzzFailure fail = runProgramAllConfigs(p, maxTicks);
         if (fail.failed) {
             std::printf("replay FAILS [%s]: %s\n", fail.config.c_str(),
@@ -290,8 +321,7 @@ main(int argc, char** argv)
         static_cast<std::size_t>(seeds), opt,
         [&](std::size_t i) {
             FuzzProgram p = generateProgram(seedStart + i);
-            if (forcePolicy)
-                p.contention = policy;
+            applyForced(p);
             SeedResult r;
             r.fail = runProgramAllConfigs(p, maxTicks, &r.stats);
             return r;
@@ -310,8 +340,7 @@ main(int argc, char** argv)
             ++failures;
             const std::uint64_t s = seedStart + i;
             FuzzProgram p = generateProgram(s);
-            if (forcePolicy)
-                p.contention = policy;
+            applyForced(p);
             // Shrink sequentially on the merging thread: deterministic
             // regardless of how many workers ran the campaign.
             const FuzzProgram shrunk =

@@ -43,6 +43,10 @@ usage()
         "  --nesting full|flatten\n"
         "  --scheme assoc|multitrack  (cache nesting scheme)\n"
         "  --granularity line|word    (conflict tracking)\n"
+        "  --rset-cap N         bound per-level read-sets to N lines\n"
+        "                       (0 = unbounded, the default)\n"
+        "  --wset-cap N         bound per-level write-sets to N lines\n"
+        "  --capacity-mode M    abort|overflow: over-cap handling\n"
         "  --no-backoff         disable retry backoff\n"
         "  --fuzz-seed N        seed for the 'fuzz' kernel (default 1)\n"
         "  --stats              dump every counter after the run\n"
@@ -107,6 +111,14 @@ main(int argc, char** argv)
         } else if (arg == "--granularity") {
             htm.granularity = next() == "word" ? TrackGranularity::Word
                                                : TrackGranularity::Line;
+        } else if (arg == "--rset-cap") {
+            htm.rsetCap = parseInt(next(), "--rset-cap", 0, 100000);
+        } else if (arg == "--wset-cap") {
+            htm.wsetCap = parseInt(next(), "--wset-cap", 0, 100000);
+        } else if (arg == "--capacity-mode") {
+            const std::string name = next();
+            if (!capacityModeFromName(name, htm.capacityMode))
+                fatal("unknown capacity mode '%s'", name.c_str());
         } else if (arg == "--no-backoff") {
             htm.retryBackoff = false;
         } else if (arg == "--fuzz-seed") {

@@ -120,6 +120,10 @@ usage()
         "  --json-stats FILE  write the merged sweep document "
         "(default stdout)\n"
         "  --fuzz-seed N      seed for the 'fuzz' kernel (default 1)\n"
+        "  --rset-cap N       bound per-level read-sets to N lines\n"
+        "                     (0 = unbounded, the default)\n"
+        "  --wset-cap N       bound per-level write-sets to N lines\n"
+        "  --capacity-mode M  abort|overflow: over-cap handling\n"
         "  --quiet            suppress simulator log output\n");
 }
 
@@ -135,6 +139,9 @@ main(int argc, char** argv)
     std::uint64_t fuzzSeed = 1;
     int jobs = 1;
     bool quiet = false;
+    int rsetCap = 0;
+    int wsetCap = 0;
+    CapacityMode capMode = CapacityMode::Abort;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -155,6 +162,14 @@ main(int argc, char** argv)
             jsonStatsFile = next();
         } else if (arg == "--fuzz-seed") {
             fuzzSeed = parseU64(next(), "--fuzz-seed");
+        } else if (arg == "--rset-cap") {
+            rsetCap = parseInt(next(), "--rset-cap", 0, 100000);
+        } else if (arg == "--wset-cap") {
+            wsetCap = parseInt(next(), "--wset-cap", 0, 100000);
+        } else if (arg == "--capacity-mode") {
+            const std::string name = next();
+            if (!capacityModeFromName(name, capMode))
+                fatal("unknown capacity mode '%s'", name.c_str());
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -235,6 +250,9 @@ main(int argc, char** argv)
             htm.version = cell.cfg->version;
             htm.conflict = cell.cfg->conflict;
             htm.nesting = cell.cfg->nesting;
+            htm.rsetCap = rsetCap;
+            htm.wsetCap = wsetCap;
+            htm.capacityMode = capMode;
             auto kernel = makeNamedKernel(kernelName, fuzzSeed);
             CellResult res;
             StatsRegistry stats;
