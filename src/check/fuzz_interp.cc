@@ -31,15 +31,21 @@ FuzzInterp::FuzzInterp(const FuzzProgram& program, const HtmConfig& htm)
 {
     layout.slots = prog.slotsPerRegion;
     pending.assign(static_cast<size_t>(prog.numThreads()), -1);
-    frames.resize(static_cast<size_t>(prog.numThreads()));
+    flog.resize(static_cast<size_t>(prog.numThreads()));
+}
+
+Addr
+FuzzInterp::trackUnitMask() const
+{
+    if (htmCfg.granularity == TrackGranularity::Word)
+        return ~(wordBytes - 1);
+    return ~(lineBytes - 1);
 }
 
 Addr
 FuzzInterp::trackUnitOf(Addr a) const
 {
-    if (htmCfg.granularity == TrackGranularity::Word)
-        return a & ~(wordBytes - 1);
-    return a & ~(lineBytes - 1);
+    return a & trackUnitMask();
 }
 
 void
@@ -138,43 +144,6 @@ FuzzInterp::recordNaked(ObservedUnit::Kind kind, CpuId cpu, Addr a,
     rec.units.push_back(std::move(u));
 }
 
-void
-FuzzInterp::enterAttempt(int tid, int depth)
-{
-    auto& st = frames[static_cast<size_t>(tid)];
-    while (!st.empty() && st.back().depth >= depth)
-        st.pop_back();
-    st.push_back(Frame{depth, {}});
-}
-
-void
-FuzzInterp::logAccess(int tid, ObservedAccess::Kind kind, Addr a,
-                      Word v)
-{
-    auto& st = frames[static_cast<size_t>(tid)];
-    if (st.empty()) {
-        setError("access logged outside any transaction frame");
-        return;
-    }
-    st.back().accesses.push_back(ObservedAccess{kind, a, v});
-}
-
-void
-FuzzInterp::markReleased(int tid, Addr unit)
-{
-    // Conservative: a release drops the whole track unit from the
-    // top-level read-set under flattening, so un-check matching reads
-    // in every live frame of this thread.
-    for (Frame& f : frames[static_cast<size_t>(tid)]) {
-        for (ObservedAccess& a : f.accesses) {
-            if (a.kind == ObservedAccess::Kind::Read &&
-                trackUnitOf(a.addr) == unit) {
-                a.kind = ObservedAccess::Kind::ReadUnchecked;
-            }
-        }
-    }
-}
-
 SimTask
 FuzzInterp::execBody(TxThread& t, int tid, int tx_idx, int depth)
 {
@@ -184,19 +153,19 @@ FuzzInterp::execBody(TxThread& t, int tid, int tx_idx, int depth)
         switch (op.kind) {
         case FuzzOpKind::TxRead: {
             const Word v = co_await t.ld(a);
-            logAccess(tid, ObservedAccess::Kind::Read, a, v);
+            flog.logAccess(tid, ObservedAccess::Kind::Read, a, v);
             break;
         }
         case FuzzOpKind::TxAdd: {
             const Word v = co_await t.ld(a);
             co_await t.st(a, v + op.value);
-            logAccess(tid, ObservedAccess::Kind::Read, a, v);
-            logAccess(tid, ObservedAccess::Kind::Write, a, v + op.value);
+            flog.logAccess(tid, ObservedAccess::Kind::Read, a, v);
+            flog.logAccess(tid, ObservedAccess::Kind::Write, a, v + op.value);
             break;
         }
         case FuzzOpKind::Release:
             co_await t.cpu().release(a);
-            markReleased(tid, trackUnitOf(a));
+            flog.markReleased(tid, trackUnitOf(a), trackUnitMask());
             break;
         case FuzzOpKind::ImmRead:
             co_await t.cpu().imld(a);
@@ -248,7 +217,7 @@ FuzzInterp::runTxNode(TxThread& t, int tid, int tx_idx, int depth)
 {
     const FuzzTx& tx = prog.txs[static_cast<size_t>(tx_idx)];
     TxBody body = [this, tid, tx_idx, depth](TxThread& th) -> SimTask {
-        enterAttempt(tid, depth);
+        flog.enterAttempt(tid, depth);
         co_await execBody(th, tid, tx_idx, depth);
     };
     TxOutcome out;
@@ -272,11 +241,9 @@ FuzzInterp::runTxNode(TxThread& t, int tid, int tx_idx, int depth)
         if (tx.open && depth > 1 && cpu >= 0 &&
             cpu < static_cast<CpuId>(pending.size()) &&
             pending[static_cast<size_t>(cpu)] != -1) {
-            auto& st = frames[static_cast<size_t>(tid)];
-            if (!st.empty() && st.back().depth == depth) {
+            if (flog.topIs(tid, depth)) {
                 attachCommit(cpu, ObservedUnit::Kind::OpenCommit,
-                             std::move(st.back().accesses));
-                st.pop_back();
+                             std::move(flog.takeTop(tid).accesses));
             } else {
                 setError("open commit unwound with no matching frame");
             }
@@ -284,20 +251,17 @@ FuzzInterp::runTxNode(TxThread& t, int tid, int tx_idx, int depth)
         throw;
     }
 
-    auto& st = frames[static_cast<size_t>(tid)];
     if (!out.committed()) {
         // Voluntary abort: the attempt's frames are dead.
-        while (!st.empty() && st.back().depth >= depth)
-            st.pop_back();
+        flog.discardAtOrBelow(tid, depth);
         co_return;
     }
 
-    if (st.empty() || st.back().depth != depth) {
+    if (!flog.topIs(tid, depth)) {
         setError("frame stack out of sync at commit");
         co_return;
     }
-    Frame f = std::move(st.back());
-    st.pop_back();
+    FrameLog::Frame f = flog.takeTop(tid);
 
     // A unit commits memory iff it is the outermost level, or an
     // open-nested level under full nesting (flattening subsumes it).
@@ -311,13 +275,7 @@ FuzzInterp::runTxNode(TxThread& t, int tid, int tx_idx, int depth)
     } else {
         // Closed-nested (or flatten-subsumed) commit: fold the child's
         // accesses into the enclosing attempt.
-        if (st.empty()) {
-            setError("nested commit with no enclosing frame");
-            co_return;
-        }
-        Frame& parent = st.back();
-        parent.accesses.insert(parent.accesses.end(),
-                               f.accesses.begin(), f.accesses.end());
+        flog.foldIntoTop(tid, std::move(f.accesses));
     }
 }
 
@@ -363,6 +321,8 @@ ObservedRun
 FuzzInterp::finish(Machine& m, bool hang)
 {
     rec.hang = hang;
+    if (!flog.error().empty())
+        setError(flog.error());
     if (!hang) {
         for (size_t c = 0; c < pending.size(); ++c) {
             if (pending[c] != -1)
@@ -421,7 +381,8 @@ FuzzInterp::run(Tick max_ticks, StatsRegistry* stats_out)
     }
     if (stats_out)
         stats_out->mergeFrom(m.stats());
-    return finish(m, !m.allDone() && rec.error.empty());
+    return finish(m, !m.allDone() && rec.error.empty() &&
+                         flog.error().empty());
 }
 
 } // namespace tmsim

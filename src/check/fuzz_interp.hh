@@ -13,94 +13,13 @@
 #include <utility>
 #include <vector>
 
+#include "check/frame_log.hh"
 #include "check/fuzz_program.hh"
+#include "check/observed.hh"
 #include "core/machine.hh"
 #include "runtime/tx_thread.hh"
 
 namespace tmsim {
-
-/**
- * Word layout of the fuzz regions in simulated memory. Regions are
- * line-aligned so no track unit ever spans two regions (release-safety
- * and the cross-config invariant reason about whole regions); slots
- * within a region stay contiguous so neighbouring slots share a line
- * and exercise false sharing under line-granular tracking.
- */
-struct FuzzLayout
-{
-    Addr base = 0;
-    int slots = 0;
-    Addr regionStride = 0;
-
-    Addr
-    addrOf(Region r, int slot) const
-    {
-        return base + static_cast<Addr>(r) * regionStride +
-               static_cast<Addr>(slot) * wordBytes;
-    }
-
-    /** Deterministic initial image, distinct per word. */
-    static Word
-    initValue(Region r, int slot)
-    {
-        return 0x1000u * (static_cast<unsigned>(r) + 1) +
-               static_cast<unsigned>(slot);
-    }
-};
-
-/** One checked access performed inside a committed unit. */
-struct ObservedAccess
-{
-    enum class Kind : std::uint8_t
-    {
-        Read,          ///< value must match the golden model
-        ReadUnchecked, ///< read later released: no value guarantee
-        Write,         ///< applied to the golden model
-    };
-
-    Kind kind = Kind::Read;
-    Addr addr = 0;
-    Word value = 0;
-};
-
-/**
- * One serialization unit in chip-global order: an outer-transaction
- * commit, an open-nested commit, or a single non-transactional access
- * (which is its own serialization point under strong atomicity).
- */
-struct ObservedUnit
-{
-    enum class Kind : std::uint8_t
-    {
-        TxCommit,
-        OpenCommit,
-        NakedLoad,
-        NakedStore,
-    };
-
-    Kind kind = Kind::TxCommit;
-    CpuId cpu = 0;
-    /** Serialized, then rolled back before committing memory. */
-    bool dead = false;
-    /** Access content attached (always true for naked units). */
-    bool filled = false;
-    std::vector<ObservedAccess> accesses; ///< commits only
-    Addr addr = 0;                        ///< naked units only
-    Word value = 0;                       ///< naked units only
-};
-
-/** Everything the oracle needs about one execution. */
-struct ObservedRun
-{
-    FuzzLayout layout;
-    std::vector<ObservedUnit> units;
-    bool hang = false;
-    std::string error;
-    /** Final backing-store words of all golden-checked regions. */
-    std::vector<std::pair<Addr, Word>> finalChecked;
-    /** Final words of the mode-invariant regions (Shared, Private). */
-    std::vector<std::pair<Addr, Word>> finalInvariant;
-};
 
 /**
  * Executes one FuzzProgram under one HtmConfig. Single-shot: construct,
@@ -135,21 +54,8 @@ class FuzzInterp
     ObservedRun finish(Machine& m, bool hang);
 
   private:
-    struct Frame
-    {
-        int depth;
-        std::vector<ObservedAccess> accesses;
-    };
-
     SimTask runTxNode(TxThread& t, int tid, int tx_idx, int depth);
     SimTask execBody(TxThread& t, int tid, int tx_idx, int depth);
-
-    /** Start (or restart) the attempt at @p depth: discard frames the
-     *  previous attempt left at this depth or deeper. */
-    void enterAttempt(int tid, int depth);
-    void logAccess(int tid, ObservedAccess::Kind kind, Addr a, Word v);
-    /** Mark logged reads of @p unit unchecked after a release. */
-    void markReleased(int tid, Addr unit);
 
     void onSerialized(CpuId cpu, bool open);
     void onCancelled(CpuId cpu);
@@ -158,6 +64,7 @@ class FuzzInterp
     void recordNaked(ObservedUnit::Kind kind, CpuId cpu, Addr a, Word v);
     void setError(const std::string& msg);
 
+    Addr trackUnitMask() const;
     Addr trackUnitOf(Addr a) const;
 
     const FuzzProgram& prog;
@@ -168,7 +75,7 @@ class FuzzInterp
     /** Per-cpu index into rec.units of the serialized-but-unfilled
      *  unit, or -1. A thread is sequential, so at most one. */
     std::vector<int> pending;
-    std::vector<std::vector<Frame>> frames;
+    FrameLog flog;
 };
 
 } // namespace tmsim

@@ -206,22 +206,39 @@ FuzzProgram::parse(const std::string& text, FuzzProgram& out,
                 return fail(err, "missing inject");
         }
     }
-    // Optional capacity line (absent in unbounded replay files).
-    {
+    // Optional capacity line (absent in unbounded replay files). The
+    // keyword is matched first and the payload validated separately:
+    // a mangled capacity line must be reported as such, not fall
+    // through to be misparsed as the inject line.
+    bool sawCapacity = false;
+    for (;;) {
         std::istringstream ls(line);
-        std::string k, mode;
+        std::string k;
+        ls >> k;
+        if (k != "capacity")
+            break;
+        if (sawCapacity)
+            return fail(err, "duplicate capacity line: " + line);
+        sawCapacity = true;
         int rcap = 0, wcap = 0;
-        ls >> k >> rcap >> wcap >> mode;
-        if (!ls.fail() && k == "capacity") {
-            if (rcap < 0 || wcap < 0 || rcap > 100000 || wcap > 100000)
-                return fail(err, "bad capacity bounds: " + line);
-            if (!capacityModeFromName(mode, p.capacityMode))
-                return fail(err, "bad capacity mode: " + line);
-            p.rsetCap = rcap;
-            p.wsetCap = wcap;
-            if (!std::getline(is, line))
-                return fail(err, "missing inject");
+        std::string mode, extra;
+        ls >> rcap >> wcap >> mode;
+        if (ls.fail() || mode.empty()) {
+            return fail(err, "malformed capacity line (expected "
+                             "'capacity RCAP WCAP MODE'): " + line);
         }
+        if (ls >> extra)
+            return fail(err, "trailing junk on capacity line: " + line);
+        if (rcap < 0 || wcap < 0 || rcap > 100000 || wcap > 100000) {
+            return fail(err, "capacity bounds out of range "
+                             "[0, 100000]: " + line);
+        }
+        if (!capacityModeFromName(mode, p.capacityMode))
+            return fail(err, "bad capacity mode: " + line);
+        p.rsetCap = rcap;
+        p.wsetCap = wcap;
+        if (!std::getline(is, line))
+            return fail(err, "missing inject");
     }
     {
         std::istringstream ls(line);

@@ -11,8 +11,8 @@
 
 #include <string>
 
-#include "check/fuzz_interp.hh"
 #include "check/fuzz_program.hh"
+#include "check/observed.hh"
 
 namespace tmsim {
 

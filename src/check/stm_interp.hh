@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fuzz-program interpreter for the native STM backend: executes the
+ * same FuzzProgram that check/fuzz_interp runs on the simulator, but
+ * on real host threads over an StmRuntime, and reconstructs a global
+ * serialization order from each unit's commit key (stm/stm_thread's
+ * StmCommitInfo). The resulting ObservedRun feeds the same
+ * serializability oracle (check/oracle) — the STM is scheduled
+ * nondeterministically, so the oracle's golden sequential replay of
+ * the *observed* order is the correctness contract, not bit-identical
+ * commit order across engines or runs.
+ */
+
+#ifndef TMSIM_CHECK_STM_INTERP_HH
+#define TMSIM_CHECK_STM_INTERP_HH
+
+#include <vector>
+
+#include "check/frame_log.hh"
+#include "check/fuzz_program.hh"
+#include "check/observed.hh"
+#include "stm/stm_thread.hh"
+
+namespace tmsim {
+
+class StatsRegistry;
+
+/**
+ * Executes one FuzzProgram on the STM backend. Single-shot: construct,
+ * call run() once. Thread t of the program maps to one host thread
+ * owning one StmThread.
+ */
+class StmFuzzInterp
+{
+  public:
+    explicit StmFuzzInterp(const FuzzProgram& program,
+                           StmConfig cfg = StmConfig{});
+
+    /** Execute the program and return the observation. With
+     *  @p stats_out, the runtime's stm.* stats merge into it. */
+    ObservedRun run(StatsRegistry* stats_out = nullptr);
+
+  private:
+    struct KeyedUnit
+    {
+        StmCommitInfo key;
+        ObservedUnit unit;
+    };
+
+    void attach(StmRuntime& rt);
+    void threadBody(StmThread& t, int tid, std::vector<KeyedUnit>& out);
+    void runTxNode(StmThread& t, int tid, int tx_idx, int depth,
+                   std::vector<KeyedUnit>& out);
+    void execBody(StmThread& t, int tid, int tx_idx, int depth,
+                  std::vector<KeyedUnit>& out);
+
+    const FuzzProgram& prog;
+    StmConfig cfg;
+    FuzzLayout layout;
+    FrameLog flog;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_CHECK_STM_INTERP_HH

@@ -1,11 +1,33 @@
 #include "mem/backing_store.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "sim/logging.hh"
 
 namespace tmsim {
+
+Addr
+watchAddrFromEnv(const char* env)
+{
+    if (!env || *env == '\0')
+        return invalidAddr;
+    // strtoull quietly maps garbage to 0 and wraps negatives: a typo'd
+    // TMSIM_WATCH_ADDR would silently trace address 0 instead of the
+    // intended word. Require a full, non-negative parse.
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = strtoull(env, &end, 0);
+    if (end == env || *end != '\0' || errno == ERANGE ||
+        strchr(env, '-') != nullptr) {
+        warn("TMSIM_WATCH_ADDR='%s' is not a valid address; "
+             "watchpoint disabled", env);
+        return invalidAddr;
+    }
+    return static_cast<Addr>(v);
+}
 
 BackingStore::BackingStore(Addr size_bytes)
     : words((size_bytes + wordBytes - 1) / wordBytes, 0),
@@ -43,11 +65,7 @@ BackingStore::write(Addr addr, Word value)
     // Debug watchpoint: set TMSIM_WATCH_ADDR=<addr> to trace every
     // architectural write to one simulated word (committed stores,
     // in-place speculative stores, and undo restores).
-    static Addr watch = [] {
-        const char* env = getenv("TMSIM_WATCH_ADDR");
-        return env ? static_cast<Addr>(strtoull(env, nullptr, 0))
-                   : invalidAddr;
-    }();
+    static Addr watch = watchAddrFromEnv(getenv("TMSIM_WATCH_ADDR"));
     if (addr == watch) {
         fprintf(stderr, "[watch] 0x%llx: %llu -> %llu\n",
                 (unsigned long long)addr,

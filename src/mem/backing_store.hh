@@ -14,6 +14,14 @@
 namespace tmsim {
 
 /**
+ * Parse a TMSIM_WATCH_ADDR-style watchpoint value. Returns invalidAddr
+ * (watchpoint disabled) for null, empty or malformed input — with a
+ * warning for the malformed case, so a typo'd address degrades to "no
+ * watchpoint" loudly instead of silently watching address 0.
+ */
+Addr watchAddrFromEnv(const char* env);
+
+/**
  * The architectural memory image. Committed transactional state and
  * non-speculative data live here. Access is untimed; all timing is
  * modelled by the cache hierarchy and bus.

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ownership records and the global version clock of the TL2-style STM
+ * backend (per the TL2 / OrecLazy lineage referenced in PAPERS.md).
+ *
+ * Each orec is one 64-bit atomic word:
+ *   - bit 63 clear: the word IS the version — the commit timestamp of
+ *     the last transaction that wrote any address mapping to this orec.
+ *   - bit 63 set:   locked for commit; the low bits hold the owning
+ *     thread id. The pre-lock version lives in the owner's commit-local
+ *     lock record, not in the orec itself.
+ *
+ * Version invariant: successive writers of one orec serialize on its
+ * lock and fetch their commit timestamps while holding it, so the
+ * version sequence of every orec is strictly increasing. Observing an
+ * unlocked orec at version v therefore proves every writer of that
+ * orec with timestamp <= v has fully released (writes in memory).
+ */
+
+#ifndef TMSIM_STM_OREC_TABLE_HH
+#define TMSIM_STM_OREC_TABLE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tmsim {
+
+constexpr std::uint64_t orecLockBit = std::uint64_t{1} << 63;
+
+inline bool orecLocked(std::uint64_t o) { return (o & orecLockBit) != 0; }
+
+inline std::uint64_t orecVersion(std::uint64_t o) { return o; }
+
+/** Owner tid of a locked orec (meaningless when unlocked). */
+inline int
+orecOwner(std::uint64_t o)
+{
+    return static_cast<int>(o & ~orecLockBit);
+}
+
+inline std::uint64_t
+orecLockedBy(int tid)
+{
+    return orecLockBit | static_cast<std::uint64_t>(tid);
+}
+
+/**
+ * Global version clock. Read by transaction starts (the read snapshot
+ * rv) and advanced by committing writers. Commit protocol ordering is
+ * load-bearing: a writer LOCKS its write orecs before fetching its
+ * commit timestamp, so any timestamp wv <= rv implies the writer
+ * locked before rv was sampled — a reader sampling rv then either
+ * observes the lock (and waits) or the fully-released new version.
+ * That is what makes "serialize read-only work at rv" sound.
+ */
+class GlobalClock
+{
+  public:
+    std::uint64_t now() const { return clk.load(std::memory_order_acquire); }
+
+    /** Next commit timestamp (strictly positive; version 0 means
+     *  "initial image, never written"). */
+    std::uint64_t
+    advance()
+    {
+        return clk.fetch_add(1, std::memory_order_acq_rel) + 1;
+    }
+
+  private:
+    std::atomic<std::uint64_t> clk{0};
+};
+
+/** The orec array plus the address-to-orec mapping. */
+class OrecTable
+{
+  public:
+    explicit OrecTable(std::size_t n_orecs)
+        : mask(n_orecs - 1), orecs(n_orecs)
+    {
+        for (auto& o : orecs)
+            o.store(0, std::memory_order_relaxed);
+    }
+
+    std::size_t
+    indexOf(Addr a) const
+    {
+        return static_cast<std::size_t>(a / wordBytes) & mask;
+    }
+
+    std::atomic<std::uint64_t>& at(std::size_t idx) { return orecs[idx]; }
+    std::atomic<std::uint64_t>& of(Addr a) { return orecs[indexOf(a)]; }
+
+    std::size_t size() const { return orecs.size(); }
+
+  private:
+    std::size_t mask;
+    std::vector<std::atomic<std::uint64_t>> orecs;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_STM_OREC_TABLE_HH

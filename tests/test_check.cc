@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "check/fuzz_driver.hh"
 #include "check/fuzz_interp.hh"
 #include "check/fuzz_program.hh"
@@ -65,6 +68,45 @@ TEST(FuzzProgram, ParseRejectsMalformedInput)
     top.tx = 0;
     p.threads.push_back({top});
     EXPECT_FALSE(FuzzProgram::parse(p.serialize(), q, &err));
+}
+
+TEST(FuzzProgram, ParseRejectsMangledCapacityLines)
+{
+    // Negative corpus: each file carries one specific capacity-line
+    // defect. A mangled capacity line must be reported as a capacity
+    // problem — before this hardening, a truncated line fell through
+    // keyword matching and surfaced as a baffling "missing inject".
+    const char* files[] = {
+        "capacity_truncated.replay",   "capacity_duplicate.replay",
+        "capacity_out_of_range.replay", "capacity_bad_mode.replay",
+        "capacity_trailing.replay",
+    };
+    for (const char* f : files) {
+        SCOPED_TRACE(f);
+        std::ifstream is(std::string(TMSIM_REPLAYS_DIR) + "/" + f);
+        ASSERT_TRUE(is.good());
+        std::stringstream buf;
+        buf << is.rdbuf();
+        FuzzProgram q;
+        std::string err;
+        EXPECT_FALSE(FuzzProgram::parse(buf.str(), q, &err));
+        EXPECT_NE(err.find("capacity"), std::string::npos) << err;
+    }
+}
+
+TEST(FuzzProgram, ParseAcceptsCapacityLineRoundTrip)
+{
+    FuzzProgram p = generateProgram(3);
+    p.rsetCap = 4;
+    p.wsetCap = 8;
+    p.capacityMode = CapacityMode::Overflow;
+    FuzzProgram q;
+    std::string err;
+    ASSERT_TRUE(FuzzProgram::parse(p.serialize(), q, &err)) << err;
+    EXPECT_EQ(q.rsetCap, 4);
+    EXPECT_EQ(q.wsetCap, 8);
+    EXPECT_EQ(q.capacityMode, CapacityMode::Overflow);
+    EXPECT_EQ(p.serialize(), q.serialize());
 }
 
 namespace {

@@ -22,6 +22,25 @@ TEST(BackingStore, ReadWriteAndBounds)
     EXPECT_EQ(mem.read(72), 0u);
 }
 
+TEST(BackingStore, WatchAddrEnvParsesStrictly)
+{
+    // Valid addresses, all supported bases.
+    EXPECT_EQ(watchAddrFromEnv("64"), 64u);
+    EXPECT_EQ(watchAddrFromEnv("0x40"), 0x40u);
+    EXPECT_EQ(watchAddrFromEnv("0"), 0u);
+
+    // Unset or empty: watchpoint off, no warning.
+    EXPECT_EQ(watchAddrFromEnv(nullptr), invalidAddr);
+    EXPECT_EQ(watchAddrFromEnv(""), invalidAddr);
+
+    // Garbage must disable the watchpoint, not watch address 0
+    // (strtoull's silent fallback) or wrap around (negatives).
+    EXPECT_EQ(watchAddrFromEnv("oops"), invalidAddr);
+    EXPECT_EQ(watchAddrFromEnv("0x40zz"), invalidAddr);
+    EXPECT_EQ(watchAddrFromEnv("-64"), invalidAddr);
+    EXPECT_EQ(watchAddrFromEnv("99999999999999999999999"), invalidAddr);
+}
+
 TEST(BackingStore, AllocatorAlignsAndAdvances)
 {
     BackingStore mem(1 << 20);

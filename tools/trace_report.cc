@@ -42,7 +42,11 @@
 #include <string>
 #include <vector>
 
+#include "sim/parse.hh"
+
 namespace {
+
+using tmsim::parseInt;
 
 using u64 = std::uint64_t;
 using i64 = std::int64_t;
@@ -151,7 +155,9 @@ main(int argc, char** argv)
                 usage();
                 return 2;
             }
-            opt.top = std::atoi(argv[++i]);
+            // Strict parse: atoi turned "--top abc" into 0 and the
+            // report silently rendered empty tables.
+            opt.top = parseInt(argv[++i], "--top", 1, 1'000'000);
         } else if (arg == "--check") {
             opt.check = true;
         } else if (arg == "--help" || arg == "-h") {

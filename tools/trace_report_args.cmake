@@ -1,0 +1,45 @@
+# CLI strictness regression (ctest: trace_report_args).
+# --top used to go through bare atoi: "--top abc" became 0 (empty
+# tables, exit 0) and a missing value walked off argv. Malformed values
+# must now fail loudly; valid ones must still work.
+
+# Minimal well-formed trace: metadata header, no events.
+set(trace "${WORK_DIR}/args.trace.json")
+file(WRITE ${trace}
+     "{\"otherData\": {\"schema\": \"tmsim-trace\", \
+\"schema_version\": 1, \"cycles\": 0, \"cpus\": 0, \"dropped\": 0}}\n")
+
+# Malformed values: must exit nonzero and name the flag.
+foreach(bad abc 10x -3 99999999999999999999)
+    execute_process(
+        COMMAND ${TRACE_REPORT} ${trace} --top ${bad}
+        RESULT_VARIABLE rc
+        ERROR_VARIABLE err
+        OUTPUT_QUIET)
+    if(rc EQUAL 0)
+        message(FATAL_ERROR "--top ${bad} was accepted (rc=0)")
+    endif()
+    if(NOT err MATCHES "--top")
+        message(FATAL_ERROR
+                "--top ${bad} diagnostic does not name the flag: ${err}")
+    endif()
+endforeach()
+
+# Missing value: usage error, not an argv overrun.
+execute_process(
+    COMMAND ${TRACE_REPORT} ${trace} --top
+    RESULT_VARIABLE rc
+    ERROR_QUIET OUTPUT_QUIET)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "--top with no value was accepted (rc=0)")
+endif()
+
+# A well-formed value still parses (the empty trace itself is fine:
+# trace_report reports zero events).
+execute_process(
+    COMMAND ${TRACE_REPORT} ${trace} --top 5
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--top 5 rejected (rc=${rc}): ${err}")
+endif()
