@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/parse.hh"
 #include "workloads/kernel_mp3d.hh"
 #include "workloads/kernel_specjbb.hh"
 #include "workloads/kernels_scientific.hh"
@@ -38,7 +39,10 @@ int
 main(int argc, char** argv)
 {
     defaultLogContext().quiet = true;
-    const int threads = argc > 1 ? std::atoi(argv[1]) : 8;
+    // Strict parse: a bare atoi would quietly turn "abc" into 0 and the
+    // bench would report nonsense speedups at 0 threads.
+    const int threads =
+        argc > 1 ? parseInt(argv[1], "threads", 1, 128) : 8;
 
     std::vector<Row> rows = {
         {"barnes",

@@ -30,6 +30,8 @@ struct MachineConfig
     BusConfig bus{};
     HtmConfig htm{};
     Addr memBytes = 64ull * 1024 * 1024;
+    /** Host representation of the memory image (semantics-neutral). */
+    StoreMode store = defaultStoreMode();
 };
 
 /**

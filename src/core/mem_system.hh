@@ -28,7 +28,8 @@ class MemSystem
 {
   public:
     MemSystem(EventQueue& eq, const BusConfig& bus_cfg, Addr mem_bytes,
-              StatsRegistry& stats);
+              StatsRegistry& stats,
+              StoreMode store_mode = defaultStoreMode());
 
     StatsRegistry& statsRegistry() { return statsReg; }
 

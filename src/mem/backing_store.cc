@@ -9,6 +9,49 @@
 
 namespace tmsim {
 
+namespace {
+
+StoreMode&
+defaultStoreModeRef()
+{
+    static StoreMode mode = StoreMode::Sparse;
+    return mode;
+}
+
+} // namespace
+
+StoreMode
+defaultStoreMode()
+{
+    return defaultStoreModeRef();
+}
+
+void
+setDefaultStoreMode(StoreMode m)
+{
+    defaultStoreModeRef() = m;
+}
+
+const char*
+storeModeName(StoreMode m)
+{
+    return m == StoreMode::Dense ? "dense" : "sparse";
+}
+
+bool
+storeModeFromName(const std::string& name, StoreMode& out)
+{
+    if (name == "dense") {
+        out = StoreMode::Dense;
+        return true;
+    }
+    if (name == "sparse") {
+        out = StoreMode::Sparse;
+        return true;
+    }
+    return false;
+}
+
 Addr
 watchAddrFromEnv(const char* env)
 {
@@ -29,15 +72,29 @@ watchAddrFromEnv(const char* env)
     return static_cast<Addr>(v);
 }
 
-BackingStore::BackingStore(Addr size_bytes)
-    : words((size_bytes + wordBytes - 1) / wordBytes, 0),
+BackingStore::BackingStore(Addr size_bytes, StoreMode mode, Addr chunk_bytes)
+    : storeMode(mode),
       bytes(size_bytes),
       // Keep address 0 unmapped-ish: start allocations at one line so a
       // zero Addr can serve as a null pointer in workloads.
-      brkPtr(64)
+      brkPtr(64),
+      watchAddrVal(watchAddrFromEnv(getenv("TMSIM_WATCH_ADDR"))),
+      chunkSize(chunk_bytes)
 {
     if (size_bytes == 0)
         fatal("BackingStore size must be nonzero");
+    if (storeMode == StoreMode::Dense) {
+        words.assign((size_bytes + wordBytes - 1) / wordBytes, 0);
+        return;
+    }
+    if (chunkSize < wordBytes || (chunkSize & (chunkSize - 1)) != 0)
+        fatal("BackingStore chunk size must be a power of two >= %llu "
+              "(got %llu)",
+              static_cast<unsigned long long>(wordBytes),
+              static_cast<unsigned long long>(chunkSize));
+    const Addr chunkWords = chunkSize / wordBytes;
+    while ((static_cast<Addr>(1) << chunkWordsShift) < chunkWords)
+        ++chunkWordsShift;
 }
 
 void
@@ -46,33 +103,64 @@ BackingStore::checkAddr(Addr addr) const
     if (addr % wordBytes != 0)
         panic("unaligned word access at 0x%llx",
               static_cast<unsigned long long>(addr));
-    if (addr + wordBytes > bytes)
+    // Subtraction form: `addr + wordBytes > bytes` wraps for addresses
+    // near UINT64_MAX and would admit them.
+    if (addr >= bytes || bytes - addr < wordBytes)
         panic("out-of-range memory access at 0x%llx",
               static_cast<unsigned long long>(addr));
+}
+
+Word*
+BackingStore::chunkFor(Addr word_index, bool create) const
+{
+    const Addr chunk = word_index >> chunkWordsShift;
+    const Addr offset = word_index & ((static_cast<Addr>(1)
+                                       << chunkWordsShift) - 1);
+    if (chunk == cachedChunk)
+        return cachedPtr + offset;
+    auto it = chunks.find(chunk);
+    if (it == chunks.end()) {
+        if (!create)
+            return nullptr;
+        // make_unique<Word[]> value-initializes: fresh chunks read 0,
+        // matching dense semantics exactly.
+        it = chunks.emplace(chunk, std::make_unique<Word[]>(
+                static_cast<Addr>(1) << chunkWordsShift)).first;
+    }
+    cachedChunk = chunk;
+    cachedPtr = it->second.get();
+    return cachedPtr + offset;
 }
 
 Word
 BackingStore::read(Addr addr) const
 {
     checkAddr(addr);
-    return words[addr / wordBytes];
+    const Addr idx = addr / wordBytes;
+    if (storeMode == StoreMode::Dense)
+        return words[idx];
+    const Word* w = chunkFor(idx, /*create=*/false);
+    return w ? *w : 0;
 }
 
 void
 BackingStore::write(Addr addr, Word value)
 {
     checkAddr(addr);
+    const Addr idx = addr / wordBytes;
+    Word* slot = storeMode == StoreMode::Dense
+        ? &words[idx]
+        : chunkFor(idx, /*create=*/true);
     // Debug watchpoint: set TMSIM_WATCH_ADDR=<addr> to trace every
     // architectural write to one simulated word (committed stores,
     // in-place speculative stores, and undo restores).
-    static Addr watch = watchAddrFromEnv(getenv("TMSIM_WATCH_ADDR"));
-    if (addr == watch) {
+    if (addr == watchAddrVal) {
         fprintf(stderr, "[watch] 0x%llx: %llu -> %llu\n",
                 (unsigned long long)addr,
-                (unsigned long long)words[addr / wordBytes],
+                (unsigned long long)*slot,
                 (unsigned long long)value);
     }
-    words[addr / wordBytes] = value;
+    *slot = value;
 }
 
 Addr
@@ -80,12 +168,40 @@ BackingStore::allocate(Addr n_bytes, Addr align)
 {
     if (align == 0 || (align & (align - 1)) != 0)
         panic("allocation alignment must be a power of two");
-    Addr base = (brkPtr + align - 1) & ~(align - 1);
-    if (base + n_bytes > bytes)
+    // All comparisons in subtraction form: `base + n_bytes > bytes`
+    // wraps for huge n_bytes and would hand out a bogus base.
+    Addr base = brkPtr;
+    const Addr rem = base & (align - 1);
+    if (rem != 0) {
+        const Addr pad = align - rem;
+        if (base > bytes || pad > bytes - base)
+            fatal("simulated memory exhausted (%llu bytes requested "
+                  "at alignment %llu)",
+                  static_cast<unsigned long long>(n_bytes),
+                  static_cast<unsigned long long>(align));
+        base += pad;
+    }
+    if (base > bytes || n_bytes > bytes - base)
         fatal("simulated memory exhausted (%llu bytes requested)",
               static_cast<unsigned long long>(n_bytes));
     brkPtr = base + n_bytes;
     return base;
+}
+
+std::size_t
+BackingStore::touchedChunks() const
+{
+    if (storeMode == StoreMode::Sparse)
+        return chunks.size();
+    return static_cast<std::size_t>((bytes + chunkSize - 1) / chunkSize);
+}
+
+Addr
+BackingStore::hostWordsAllocated() const
+{
+    if (storeMode == StoreMode::Sparse)
+        return static_cast<Addr>(chunks.size()) << chunkWordsShift;
+    return static_cast<Addr>(words.size());
 }
 
 } // namespace tmsim

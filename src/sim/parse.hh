@@ -54,6 +54,23 @@ parseInt(const std::string& val, const char* flag, int min = INT_MIN,
     return static_cast<int>(v);
 }
 
+/** Parse @p val as a finite double within [@p min, @p max]. The
+ *  negated-range comparison also rejects NaN. */
+inline double
+parseDouble(const std::string& val, const char* flag, double min,
+            double max)
+{
+    const char* s = val.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0')
+        fatal("%s: '%s' is not a number", flag, s);
+    if (errno == ERANGE || !(v >= min && v <= max))
+        fatal("%s: %s is out of range [%g, %g]", flag, s, min, max);
+    return v;
+}
+
 } // namespace tmsim
 
 #endif // TMSIM_SIM_PARSE_HH

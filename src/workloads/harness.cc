@@ -1,5 +1,7 @@
 #include "workloads/harness.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 #include "workloads/kernel_condsync.hh"
 #include "workloads/kernel_contention.hh"
@@ -29,6 +31,15 @@ namedKernels()
 std::unique_ptr<Kernel>
 makeNamedKernel(const std::string& name, std::uint64_t fuzz_seed)
 {
+    KernelParams kp;
+    kp.fuzzSeed = fuzz_seed;
+    return makeNamedKernel(name, kp);
+}
+
+std::unique_ptr<Kernel>
+makeNamedKernel(const std::string& name, const KernelParams& kp)
+{
+    const std::uint64_t fuzz_seed = kp.fuzzSeed;
     if (name == "barnes")
         return std::make_unique<SciKernel>(sciBarnes());
     if (name == "fmm")
@@ -48,14 +59,35 @@ makeNamedKernel(const std::string& name, std::uint64_t fuzz_seed)
         return std::make_unique<SciKernel>(sciTomcatv());
     if (name == "water")
         return std::make_unique<SciKernel>(sciWater());
-    if (name == "specjbb-flat")
-        return std::make_unique<SpecJbbKernel>(JbbVariant::Flat);
-    if (name == "specjbb-closed")
-        return std::make_unique<SpecJbbKernel>(JbbVariant::ClosedNested);
-    if (name == "specjbb-open")
-        return std::make_unique<SpecJbbKernel>(JbbVariant::OpenNested);
-    if (name == "specjbb-hybrid")
-        return std::make_unique<SpecJbbKernel>(JbbVariant::Hybrid);
+    if (name.rfind("specjbb-", 0) == 0) {
+        JbbVariant variant;
+        if (name == "specjbb-flat")
+            variant = JbbVariant::Flat;
+        else if (name == "specjbb-closed")
+            variant = JbbVariant::ClosedNested;
+        else if (name == "specjbb-open")
+            variant = JbbVariant::OpenNested;
+        else if (name == "specjbb-hybrid")
+            variant = JbbVariant::Hybrid;
+        else
+            return nullptr;
+        JbbParams p;
+        if (kp.jbbOps >= 0)
+            p.totalOps = kp.jbbOps;
+        if (kp.jbbCustomers >= 0)
+            p.customers = kp.jbbCustomers;
+        if (kp.jbbStockItems >= 0)
+            p.stockItems = kp.jbbStockItems;
+        if (kp.jbbWarehouses >= 0)
+            p.warehouses = kp.jbbWarehouses;
+        if (kp.jbbThinkCycles >= 0)
+            p.thinkCycles = kp.jbbThinkCycles;
+        if (kp.jbbRemotePct >= 0)
+            p.remotePct = kp.jbbRemotePct;
+        if (kp.zipfS >= 0.0)
+            p.zipfS = kp.zipfS;
+        return std::make_unique<SpecJbbKernel>(variant, p);
+    }
     if (name == "iobench-tx" || name == "iobench-serialized") {
         IoBenchParams p;
         p.transactional = name == "iobench-tx";
@@ -88,7 +120,7 @@ runKernel(Kernel& kernel, const HtmConfig& htm, int n_threads,
     MachineConfig cfg;
     cfg.numCpus = n_threads;
     cfg.htm = htm;
-    cfg.memBytes = mem_bytes;
+    cfg.memBytes = std::max(mem_bytes, kernel.memBytesHint());
     Machine m(cfg);
 
     kernel.init(m, n_threads);

@@ -48,6 +48,14 @@ class Kernel
 
     /** Check the final memory image against the expected result. */
     virtual bool verify(Machine& m, int n_threads) = 0;
+
+    /**
+     * Minimum simulated address-space size this kernel's configured
+     * dataset needs (0 = any). runKernel raises its mem_bytes to this;
+     * with the sparse backing store, a large hint costs only the
+     * chunks actually touched.
+     */
+    virtual Addr memBytesHint() const { return 0; }
 };
 
 /** Run @p kernel with @p n_threads CPUs under @p htm. With
@@ -60,10 +68,32 @@ RunResult runKernel(Kernel& kernel, const HtmConfig& htm, int n_threads,
 /** Names of every bundled kernel, in listing order. */
 const std::vector<std::string>& namedKernels();
 
+/**
+ * Bundled-kernel construction knobs (CLI surface). Negative values
+ * mean "kernel default" so tools can pass a partially filled struct.
+ */
+struct KernelParams
+{
+    /** Parameterises the 'fuzz' kernel's program draw. */
+    std::uint64_t fuzzSeed = 1;
+    // specjbb-* scaling knobs (see JbbParams).
+    int jbbOps = -1;
+    int jbbCustomers = -1;
+    int jbbStockItems = -1;
+    int jbbWarehouses = -1;
+    int jbbThinkCycles = -1;
+    int jbbRemotePct = -1;
+    double zipfS = -1.0;
+};
+
 /** Instantiate a bundled kernel by name (nullptr if unknown).
  *  @p fuzz_seed parameterises the 'fuzz' kernel's program draw. */
 std::unique_ptr<Kernel> makeNamedKernel(const std::string& name,
                                         std::uint64_t fuzz_seed = 1);
+
+/** Instantiate a bundled kernel by name with explicit knobs. */
+std::unique_ptr<Kernel> makeNamedKernel(const std::string& name,
+                                        const KernelParams& kp);
 
 /** One bar of the paper's figure 5. */
 struct Fig5Row

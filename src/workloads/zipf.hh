@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Deterministic Zipf-skewed rank generator for production-shaped
+ * arrival sequences (hot warehouse / hot item), after the YCSB
+ * "ScrambledZipfian" construction: an O(n) one-time zeta sum, then
+ * O(1) inverse-transform draws.
+ *
+ * Determinism contract: a draw is a pure function of (n, s, u). The
+ * zeta sum runs in fixed ascending order and every draw evaluates the
+ * same closed-form expression, so for one libm build the sequence is
+ * bit-stable across runs, thread counts and --jobs values (workload
+ * selectors hash a global op index into u, never a per-thread RNG).
+ * Golden determinism fingerprints only pin configurations with s = 0
+ * and a single warehouse, which bypass this generator entirely, so
+ * cross-libm double differences can never break the goldens.
+ */
+
+#ifndef TMSIM_WORKLOADS_ZIPF_HH
+#define TMSIM_WORKLOADS_ZIPF_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tmsim {
+
+/** splitmix64 finalizer: uncorrelated 64-bit hash of an op index and a
+ *  stream salt. */
+inline std::uint64_t
+hashMix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Map a 64-bit hash to a double in [0, 1). */
+inline double
+hashToUnit(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) *
+           (1.0 / 9007199254740992.0); // 2^-53
+}
+
+/**
+ * Zipf(n, s) rank distribution over [0, n), rank 0 hottest. s = 0 is
+ * exactly uniform (and skips the O(n) zeta precomputation); s must be
+ * < 1 (the YCSB inverse transform requires it; SPECjbb-style skew uses
+ * the classic s = 0.99).
+ */
+class ZipfGen
+{
+  public:
+    ZipfGen() = default;
+
+    ZipfGen(std::uint64_t n, double s)
+        : nItems(n), theta(s)
+    {
+        if (n == 0)
+            fatal("ZipfGen needs a nonzero population");
+        if (s < 0.0 || s >= 1.0)
+            fatal("Zipf exponent must be in [0, 1), got %g", s);
+        if (s == 0.0) {
+            // Uniform: zeta(n, 0) = n, zeta(2, 0) = 2; eta collapses
+            // to 1 and draw() reduces to floor(u * n).
+            zetan = static_cast<double>(n);
+            half = 1.0;
+            alpha = 1.0;
+            eta = 1.0;
+            return;
+        }
+        for (std::uint64_t i = 1; i <= n; ++i)
+            zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+        const double zeta2 = 1.0 + std::pow(2.0, -theta);
+        half = std::pow(0.5, theta);
+        alpha = 1.0 / (1.0 - theta);
+        eta = (1.0 - std::pow(2.0 / static_cast<double>(n),
+                              1.0 - theta)) /
+              (1.0 - zeta2 / zetan);
+    }
+
+    std::uint64_t n() const { return nItems; }
+    double s() const { return theta; }
+
+    /** Inverse-transform draw: u in [0, 1) -> rank in [0, n). */
+    std::uint64_t
+    draw(double u) const
+    {
+        const double uz = u * zetan;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + half)
+            return nItems > 1 ? 1 : 0;
+        const double r = static_cast<double>(nItems) *
+                         std::pow(eta * u - eta + 1.0, alpha);
+        const auto rank = static_cast<std::uint64_t>(r);
+        return rank >= nItems ? nItems - 1 : rank;
+    }
+
+    /** Draw from the hash of (index, salt) — the deterministic
+     *  open-loop arrival sequence used by the workloads. */
+    std::uint64_t
+    drawAt(std::uint64_t index, std::uint64_t salt) const
+    {
+        return draw(hashToUnit(hashMix64(index ^ (salt * 0x9e3779b97f4a7c15ull))));
+    }
+
+  private:
+    std::uint64_t nItems = 1;
+    double theta = 0.0;
+    double zetan = 0.0;
+    double half = 1.0;  ///< 0.5^s, the rank-1 band of the transform
+    double alpha = 1.0;
+    double eta = 1.0;
+};
+
+} // namespace tmsim
+
+#endif // TMSIM_WORKLOADS_ZIPF_HH

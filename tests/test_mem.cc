@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "mem/backing_store.hh"
 #include "mem/bus.hh"
 #include "mem/cache.hh"
+#include "sim/logging.hh"
 #include "sim/task.hh"
 
 using namespace tmsim;
@@ -49,6 +52,158 @@ TEST(BackingStore, AllocatorAlignsAndAdvances)
     EXPECT_EQ(a % 64, 0u);
     EXPECT_EQ(b % 64, 0u);
     EXPECT_GE(b, a + 100);
+}
+
+namespace {
+
+/** Run @p fn under a fatal-trapping scope and expect it to fatal. */
+template <typename Fn>
+void
+expectFatal(Fn&& fn)
+{
+    LogContext ctx;
+    ctx.quiet = true;
+    ctx.throwOnFatal = true;
+    LogScope scope(ctx);
+    EXPECT_THROW(fn(), FatalError);
+}
+
+} // namespace
+
+TEST(BackingStore, AllocatorRejectsWrappingSizes)
+{
+    // `base + n_bytes` would wrap for sizes near UINT64_MAX; a
+    // wrapping comparison would admit the request and hand out a
+    // bogus base instead of reporting exhaustion.
+    BackingStore mem(1 << 20);
+    expectFatal([&] { mem.allocate(~static_cast<Addr>(0), 8); });
+    expectFatal([&] { mem.allocate(~static_cast<Addr>(0) - 32, 64); });
+
+    // Alignment padding must not wrap either: an alignment boundary
+    // beyond the end of memory makes the pad overshoot the remaining
+    // bytes, which the pad check must catch before `base += pad`.
+    BackingStore tight(1 << 20);
+    expectFatal([&] { tight.allocate(8, 1 << 21); });
+
+    // A fit that exactly reaches the top of memory still succeeds.
+    BackingStore exact(1 << 20);
+    Addr base = exact.allocate((1 << 20) - 64, 64);
+    EXPECT_EQ(base, 64u);
+    EXPECT_EQ(exact.allocate(0, 8), static_cast<Addr>(1) << 20);
+}
+
+using BackingStoreDeathTest = ::testing::Test;
+
+TEST(BackingStoreDeathTest, BoundsCheckDoesNotWrap)
+{
+    // `addr + wordBytes` wraps for addresses near UINT64_MAX; the
+    // subtraction-form check must reject them instead of reading
+    // host memory at a wrapped index.
+    BackingStore mem(1 << 20);
+    EXPECT_DEATH((void)mem.read(~static_cast<Addr>(0) - 7),
+                 "out-of-range");
+    EXPECT_DEATH(mem.write(~static_cast<Addr>(0) - 7, 1),
+                 "out-of-range");
+    EXPECT_DEATH((void)mem.read(1 << 20), "out-of-range");
+    // The last word in range is still accessible.
+    mem.write((1 << 20) - 8, 7);
+    EXPECT_EQ(mem.read((1 << 20) - 8), 7u);
+}
+
+TEST(BackingStore, WatchAddrIsPerInstance)
+{
+    // The watchpoint used to be latched in a function-local static on
+    // first write: the first store constructed owned it forever and
+    // later instances silently shared (or lost) it. It is now plain
+    // per-instance state.
+    BackingStore a(1 << 20);
+    BackingStore b(1 << 20);
+    EXPECT_EQ(a.watchAddr(), b.watchAddr());
+
+    a.setWatchAddr(128);
+    EXPECT_EQ(a.watchAddr(), 128u);
+    EXPECT_NE(b.watchAddr(), 128u);
+
+    b.setWatchAddr(256);
+    EXPECT_EQ(a.watchAddr(), 128u);
+    EXPECT_EQ(b.watchAddr(), 256u);
+
+    a.setWatchAddr(invalidAddr);
+    EXPECT_EQ(a.watchAddr(), invalidAddr);
+    EXPECT_EQ(b.watchAddr(), 256u);
+}
+
+TEST(BackingStore, SparseReadsDoNotMaterializeChunks)
+{
+    BackingStore mem(1 << 20, StoreMode::Sparse);
+    EXPECT_EQ(mem.mode(), StoreMode::Sparse);
+
+    // Reads of untouched memory return zero without allocating.
+    EXPECT_EQ(mem.read(64), 0u);
+    EXPECT_EQ(mem.read((1 << 20) - 8), 0u);
+    EXPECT_EQ(mem.touchedChunks(), 0u);
+    EXPECT_EQ(mem.hostWordsAllocated(), 0u);
+
+    // First write materializes exactly one chunk; the rest of that
+    // chunk reads as zero (value-initialized).
+    mem.write(64, 0xABCD);
+    EXPECT_EQ(mem.touchedChunks(), 1u);
+    EXPECT_EQ(mem.hostWordsAllocated(), mem.chunkBytes() / wordBytes);
+    EXPECT_EQ(mem.read(64), 0xABCDu);
+    EXPECT_EQ(mem.read(72), 0u);
+
+    // A second write in the same chunk allocates nothing new.
+    mem.write(mem.chunkBytes() - 8, 1);
+    EXPECT_EQ(mem.touchedChunks(), 1u);
+    // One past the chunk boundary starts a second chunk.
+    mem.write(mem.chunkBytes(), 2);
+    EXPECT_EQ(mem.touchedChunks(), 2u);
+}
+
+TEST(BackingStore, SparseHugeAddressSpaceAllocatesOnlyTouchedChunks)
+{
+    // A terabyte of simulated memory must cost host memory
+    // proportional to the chunks actually written, not the address
+    // space. (Dense mode would need 128 GiB of host words here.)
+    const Addr tib = static_cast<Addr>(1) << 40;
+    BackingStore mem(tib, StoreMode::Sparse);
+    EXPECT_EQ(mem.hostWordsAllocated(), 0u);
+
+    // Scatter writes across the whole space, far apart: one chunk
+    // each.
+    const int n = 11;
+    for (int i = 0; i < n; ++i)
+        mem.write(static_cast<Addr>(i) * (tib / n) & ~static_cast<Addr>(7),
+                  i + 1);
+    EXPECT_EQ(mem.touchedChunks(), static_cast<std::size_t>(n));
+    EXPECT_EQ(mem.hostWordsAllocated(),
+              n * (mem.chunkBytes() / wordBytes));
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(mem.read(static_cast<Addr>(i) * (tib / n) &
+                           ~static_cast<Addr>(7)),
+                  static_cast<Word>(i + 1));
+}
+
+TEST(BackingStore, SparseAndDenseAgreeOnMixedTraffic)
+{
+    // Same traffic, both representations, same architectural result.
+    BackingStore sparse(1 << 18, StoreMode::Sparse);
+    BackingStore dense(1 << 18, StoreMode::Dense);
+    std::uint64_t x = 0x9E3779B97F4A7C15ull;
+    for (int i = 0; i < 2000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const Addr addr = (x % (1 << 18)) & ~static_cast<Addr>(7);
+        if (x & 1) {
+            sparse.write(addr, x);
+            dense.write(addr, x);
+        } else {
+            EXPECT_EQ(sparse.read(addr), dense.read(addr));
+        }
+    }
+    for (Addr a = 0; a < (1 << 18); a += 8)
+        ASSERT_EQ(sparse.read(a), dense.read(a)) << "addr " << a;
 }
 
 TEST(CacheGeometry, DerivedParameters)

@@ -19,7 +19,7 @@ all_targets=(micro_sim_ops abl_conflict_index abl_hotpath)
 
 # Plain-printf ablation exes that manage their own JSON output (no
 # google-benchmark flags); each entry maps target -> output flag.
-plain_targets=(abl_contention abl_capacity)
+plain_targets=(abl_contention abl_capacity abl_jbb_scale)
 
 targets=()
 extra_args=()

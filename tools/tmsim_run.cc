@@ -10,6 +10,7 @@
  *   tmsim_run --list
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -48,6 +49,17 @@ usage()
         "  --wset-cap N         bound per-level write-sets to N lines\n"
         "  --capacity-mode M    abort|overflow: over-cap handling\n"
         "  --no-backoff         disable retry backoff\n"
+        "  --store dense|sparse backing-store host representation\n"
+        "                       (default sparse; semantics-identical)\n"
+        "  --jbb-ops N          specjbb-*: total operations\n"
+        "  --jbb-customers N    specjbb-*: total customer keys\n"
+        "  --jbb-stock N        specjbb-*: total stock keys\n"
+        "  --jbb-warehouses N   specjbb-*: warehouse shards (default 1)\n"
+        "  --jbb-think N        specjbb-*: think cycles per phase\n"
+        "  --jbb-remote-pct N   specjbb-*: %% of new orders handed to\n"
+        "                       another warehouse (cross-shard)\n"
+        "  --zipf S             specjbb-*: Zipf skew in [0,1) for\n"
+        "                       warehouse/customer/item draws\n"
         "  --fuzz-seed N        seed for the 'fuzz' kernel (default 1)\n"
         "  --stats              dump every counter after the run\n"
         "  --trace FILE         write a Chrome trace-event JSON of every\n"
@@ -68,7 +80,7 @@ main(int argc, char** argv)
     std::string jsonStatsFile;
     int cpus = 8;
     HtmConfig htm = HtmConfig::paperLazy();
-    std::uint64_t fuzzSeed = 1;
+    KernelParams kp;
     bool dumpStats = false;
     bool quiet = false;
 
@@ -82,7 +94,7 @@ main(int argc, char** argv)
         if (arg == "--kernel") {
             kernelName = next();
         } else if (arg == "--cpus") {
-            cpus = parseInt(next(), "--cpus", 1, 64);
+            cpus = parseInt(next(), "--cpus", 1, 128);
         } else if (arg == "--version") {
             std::string v = next();
             htm.version = v == "undolog" ? VersionMode::UndoLog
@@ -121,8 +133,30 @@ main(int argc, char** argv)
                 fatal("unknown capacity mode '%s'", name.c_str());
         } else if (arg == "--no-backoff") {
             htm.retryBackoff = false;
+        } else if (arg == "--store") {
+            const std::string name = next();
+            StoreMode mode;
+            if (!storeModeFromName(name, mode))
+                fatal("unknown store mode '%s'", name.c_str());
+            setDefaultStoreMode(mode);
+        } else if (arg == "--jbb-ops") {
+            kp.jbbOps = parseInt(next(), "--jbb-ops", 1);
+        } else if (arg == "--jbb-customers") {
+            kp.jbbCustomers = parseInt(next(), "--jbb-customers", 1);
+        } else if (arg == "--jbb-stock") {
+            kp.jbbStockItems = parseInt(next(), "--jbb-stock", 1);
+        } else if (arg == "--jbb-warehouses") {
+            kp.jbbWarehouses = parseInt(next(), "--jbb-warehouses", 1,
+                                        1024);
+        } else if (arg == "--jbb-think") {
+            kp.jbbThinkCycles = parseInt(next(), "--jbb-think", 0);
+        } else if (arg == "--jbb-remote-pct") {
+            kp.jbbRemotePct = parseInt(next(), "--jbb-remote-pct", 0,
+                                       100);
+        } else if (arg == "--zipf") {
+            kp.zipfS = parseDouble(next(), "--zipf", 0.0, 0.999);
         } else if (arg == "--fuzz-seed") {
-            fuzzSeed = parseU64(next(), "--fuzz-seed");
+            kp.fuzzSeed = parseU64(next(), "--fuzz-seed");
         } else if (arg == "--stats") {
             dumpStats = true;
         } else if (arg == "--trace") {
@@ -149,7 +183,7 @@ main(int argc, char** argv)
         usage();
         return 2;
     }
-    auto kernel = makeNamedKernel(kernelName, fuzzSeed);
+    auto kernel = makeNamedKernel(kernelName, kp);
     if (!kernel)
         fatal("unknown kernel '%s' (try --list)", kernelName.c_str());
 
@@ -158,6 +192,7 @@ main(int argc, char** argv)
     MachineConfig cfg;
     cfg.numCpus = cpus;
     cfg.htm = htm;
+    cfg.memBytes = std::max(cfg.memBytes, kernel->memBytesHint());
     Machine m(cfg);
     if (!traceFile.empty())
         m.tracer().enable(true);

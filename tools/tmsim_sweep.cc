@@ -120,6 +120,14 @@ usage()
         "  --json-stats FILE  write the merged sweep document "
         "(default stdout)\n"
         "  --fuzz-seed N      seed for the 'fuzz' kernel (default 1)\n"
+        "  --store dense|sparse  backing-store host representation\n"
+        "  --jbb-ops N        specjbb-*: total operations\n"
+        "  --jbb-customers N  specjbb-*: total customer keys\n"
+        "  --jbb-stock N      specjbb-*: total stock keys\n"
+        "  --jbb-warehouses N specjbb-*: warehouse shards\n"
+        "  --jbb-think N      specjbb-*: think cycles per phase\n"
+        "  --jbb-remote-pct N specjbb-*: %% cross-shard new orders\n"
+        "  --zipf S           specjbb-*: Zipf skew in [0,1)\n"
         "  --rset-cap N       bound per-level read-sets to N lines\n"
         "                     (0 = unbounded, the default)\n"
         "  --wset-cap N       bound per-level write-sets to N lines\n"
@@ -136,7 +144,7 @@ main(int argc, char** argv)
     std::string jsonStatsFile;
     std::string cpusList = "1,2,4,8";
     std::string configsList;
-    std::uint64_t fuzzSeed = 1;
+    KernelParams kp;
     int jobs = 1;
     bool quiet = false;
     int rsetCap = 0;
@@ -161,7 +169,29 @@ main(int argc, char** argv)
         } else if (arg == "--json-stats") {
             jsonStatsFile = next();
         } else if (arg == "--fuzz-seed") {
-            fuzzSeed = parseU64(next(), "--fuzz-seed");
+            kp.fuzzSeed = parseU64(next(), "--fuzz-seed");
+        } else if (arg == "--store") {
+            const std::string name = next();
+            StoreMode mode;
+            if (!storeModeFromName(name, mode))
+                fatal("unknown store mode '%s'", name.c_str());
+            setDefaultStoreMode(mode);
+        } else if (arg == "--jbb-ops") {
+            kp.jbbOps = parseInt(next(), "--jbb-ops", 1);
+        } else if (arg == "--jbb-customers") {
+            kp.jbbCustomers = parseInt(next(), "--jbb-customers", 1);
+        } else if (arg == "--jbb-stock") {
+            kp.jbbStockItems = parseInt(next(), "--jbb-stock", 1);
+        } else if (arg == "--jbb-warehouses") {
+            kp.jbbWarehouses = parseInt(next(), "--jbb-warehouses", 1,
+                                        1024);
+        } else if (arg == "--jbb-think") {
+            kp.jbbThinkCycles = parseInt(next(), "--jbb-think", 0);
+        } else if (arg == "--jbb-remote-pct") {
+            kp.jbbRemotePct = parseInt(next(), "--jbb-remote-pct", 0,
+                                       100);
+        } else if (arg == "--zipf") {
+            kp.zipfS = parseDouble(next(), "--zipf", 0.0, 0.999);
         } else if (arg == "--rset-cap") {
             rsetCap = parseInt(next(), "--rset-cap", 0, 100000);
         } else if (arg == "--wset-cap") {
@@ -186,13 +216,13 @@ main(int argc, char** argv)
         usage();
         return 2;
     }
-    if (!makeNamedKernel(kernelName, fuzzSeed))
+    if (!makeNamedKernel(kernelName, kp))
         fatal("unknown kernel '%s' (try tmsim_run --list)",
               kernelName.c_str());
 
     std::vector<int> cpuCounts;
     for (const std::string& tok : splitList(cpusList))
-        cpuCounts.push_back(parseInt(tok, "--cpus", 1, 64));
+        cpuCounts.push_back(parseInt(tok, "--cpus", 1, 128));
 
     std::vector<const SweepConfig*> configs;
     if (configsList.empty()) {
@@ -253,7 +283,7 @@ main(int argc, char** argv)
             htm.rsetCap = rsetCap;
             htm.wsetCap = wsetCap;
             htm.capacityMode = capMode;
-            auto kernel = makeNamedKernel(kernelName, fuzzSeed);
+            auto kernel = makeNamedKernel(kernelName, kp);
             CellResult res;
             StatsRegistry stats;
             const auto t0 = std::chrono::steady_clock::now();
